@@ -1,0 +1,258 @@
+package stamp
+
+// One benchmark per table/figure of the paper's evaluation (§6), plus
+// ablations for the design choices DESIGN.md calls out. Each benchmark
+// regenerates its experiment on a fresh synthetic topology and reports
+// the headline quantity via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper's result set at laptop scale. Absolute counts
+// differ from the paper (its topology was a 2008 RouteViews snapshot);
+// the protocol ordering and ratios are the reproduction targets. See
+// EXPERIMENTS.md for the recorded comparison.
+
+import (
+	"testing"
+
+	"stamp/internal/disjoint"
+	"stamp/internal/experiments"
+	"stamp/internal/sim"
+	"stamp/internal/topology"
+)
+
+const (
+	benchTopoSize = 1000
+	benchTrials   = 10
+	benchSeed     = 9
+)
+
+func benchGraph(b *testing.B) *topology.Graph {
+	b.Helper()
+	g, err := topology.GenerateDefault(benchTopoSize, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkFigure1 regenerates the CDF of Φk under random locked-blue
+// provider selection (paper: mean ≈ 0.92).
+func BenchmarkFigure1(b *testing.B) {
+	g := benchGraph(b)
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure1(g, disjoint.DefaultPhiOpts())
+		b.ReportMetric(res.Mean, "meanPhi")
+		b.ReportMetric(100*res.FracAbove09, "%destPhi>0.9")
+	}
+}
+
+// BenchmarkFigure1Intelligent regenerates the intelligent-selection
+// variant (paper: mean ≈ 0.97).
+func BenchmarkFigure1Intelligent(b *testing.B) {
+	g := benchGraph(b)
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure1Intelligent(g, disjoint.DefaultPhiOpts())
+		b.ReportMetric(res.Mean, "meanPhi")
+	}
+}
+
+// benchTransient runs one failure scenario and reports per-protocol mean
+// affected-AS counts (the bars of Figures 2 and 3).
+func benchTransient(b *testing.B, sc experiments.Scenario) {
+	g := benchGraph(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTransient(experiments.TransientOpts{
+			G: g, Trials: benchTrials, Seed: benchSeed, Scenario: sc,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Stats[experiments.ProtoBGP].MeanAffected, "BGP")
+		b.ReportMetric(res.Stats[experiments.ProtoRBGPNoRCI].MeanAffected, "R-BGP-noRCI")
+		b.ReportMetric(res.Stats[experiments.ProtoRBGP].MeanAffected, "R-BGP")
+		b.ReportMetric(res.Stats[experiments.ProtoSTAMP].MeanAffected, "STAMP")
+	}
+}
+
+// BenchmarkFigure2 is the single provider-link failure comparison
+// (paper: BGP 6604, R-BGP-noRCI 2097, R-BGP 0, STAMP 357).
+func BenchmarkFigure2(b *testing.B) { benchTransient(b, experiments.ScenarioSingleLink) }
+
+// BenchmarkFigure3a is the two-disjoint-link failure comparison
+// (paper: BGP 10314, R-BGP-noRCI 4242, R-BGP 861, STAMP 845).
+func BenchmarkFigure3a(b *testing.B) { benchTransient(b, experiments.ScenarioTwoLinksApart) }
+
+// BenchmarkFigure3b is the shared-AS double failure comparison
+// (paper: BGP 12071, R-BGP-noRCI 3803, R-BGP 761, STAMP 366 — STAMP wins
+// because the two failures are one routing event for it).
+func BenchmarkFigure3b(b *testing.B) { benchTransient(b, experiments.ScenarioTwoLinksShared) }
+
+// BenchmarkNodeFailure is the single-AS failure variant mentioned in
+// §6.2.2.
+func BenchmarkNodeFailure(b *testing.B) { benchTransient(b, experiments.ScenarioNodeFailure) }
+
+// BenchmarkPartialDeployment regenerates §6.3's tier-1-only deployment
+// analysis (paper: ~75% of ASes keep two downhill-disjoint paths).
+func BenchmarkPartialDeployment(b *testing.B) {
+	g := benchGraph(b)
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunPartialDeployment(g)
+		b.ReportMetric(100*res.ProtectedFrac, "%protected")
+	}
+}
+
+// BenchmarkOverhead regenerates §6.3's message overhead comparison
+// (paper: STAMP < 2× BGP updates).
+func BenchmarkOverhead(b *testing.B) {
+	g := benchGraph(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTransient(experiments.TransientOpts{
+			G: g, Trials: 5, Seed: benchSeed, Scenario: experiments.ScenarioSingleLink,
+			Protocols: []experiments.Protocol{experiments.ProtoBGP, experiments.ProtoSTAMP},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		o, err := res.Overhead()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(o.Ratio, "updateRatio")
+	}
+}
+
+// BenchmarkConvergence regenerates §6.3's convergence-delay comparison
+// (paper: STAMP converges faster than BGP on the same event).
+func BenchmarkConvergence(b *testing.B) {
+	g := benchGraph(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTransient(experiments.TransientOpts{
+			G: g, Trials: 5, Seed: benchSeed, Scenario: experiments.ScenarioSingleLink,
+			Protocols: []experiments.Protocol{experiments.ProtoBGP, experiments.ProtoSTAMP},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := res.Convergence()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(c.BGP.Seconds(), "BGP-s")
+		b.ReportMetric(c.STAMP.Seconds(), "STAMP-s")
+	}
+}
+
+// BenchmarkAblationLock measures what the Lock attribute buys: blue-route
+// coverage with and without it.
+func BenchmarkAblationLock(b *testing.B) {
+	g := benchGraph(b)
+	dest := topology.ASN(-1)
+	for a := 0; a < g.Len(); a++ {
+		if g.IsMultihomed(topology.ASN(a)) {
+			dest = topology.ASN(a)
+			break
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunLockAblation(g, dest, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.BlueCoverageWithLock, "%blueWithLock")
+		b.ReportMetric(100*res.BlueCoverageWithoutLock, "%blueNoLock")
+	}
+}
+
+// BenchmarkAblationMRAI measures the MRAI timer's effect on BGP
+// convergence and churn.
+func BenchmarkAblationMRAI(b *testing.B) {
+	g := benchGraph(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunMRAIAblation(g, 5, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.WithMRAI.MeanConvergence.Seconds(), "convMRAI-s")
+		b.ReportMetric(res.WithoutMRAI.MeanConvergence.Seconds(), "convNoMRAI-s")
+	}
+}
+
+// BenchmarkAblationIntelligentPick compares random vs intelligent blue
+// provider selection on the same topology (the Φ delta of §6.1).
+func BenchmarkAblationIntelligentPick(b *testing.B) {
+	g := benchGraph(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFigure1(g, disjoint.DefaultPhiOpts())
+		iv := experiments.RunFigure1Intelligent(g, disjoint.DefaultPhiOpts())
+		b.ReportMetric(iv.Mean-r.Mean, "phiGain")
+	}
+}
+
+// BenchmarkScaleSweep measures how the affected-AS counts scale with
+// topology size (the paper argues denser graphs favor STAMP).
+func BenchmarkScaleSweep(b *testing.B) {
+	for _, n := range []int{500, 1000, 2000} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			g, err := topology.GenerateDefault(n, benchSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunTransient(experiments.TransientOpts{
+					G: g, Trials: 5, Seed: benchSeed, Scenario: experiments.ScenarioSingleLink,
+					Protocols: []experiments.Protocol{experiments.ProtoBGP, experiments.ProtoSTAMP},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bgp := res.Stats[experiments.ProtoBGP].MeanAffected
+				st := res.Stats[experiments.ProtoSTAMP].MeanAffected
+				b.ReportMetric(bgp, "BGP")
+				b.ReportMetric(st, "STAMP")
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1000:
+		return "n" + itoa(n/1000) + "k"
+	default:
+		return "n" + itoa(n)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkEngineThroughput measures raw simulator performance: events
+// per second for a full BGP convergence, the substrate cost everything
+// else pays.
+func BenchmarkEngineThroughput(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTransient(experiments.TransientOpts{
+			G: g, Trials: 1, Seed: int64(i), Scenario: experiments.ScenarioSingleLink,
+			Protocols: []experiments.Protocol{experiments.ProtoBGP},
+			Params:    sim.DefaultParams(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}

@@ -1,0 +1,151 @@
+// Command stampsim regenerates the paper's experiments on a synthetic or
+// loaded AS topology.
+//
+// Usage:
+//
+//	stampsim -exp figure2 -n 3000 -trials 30
+//	stampsim -exp all -n 1000 -trials 10
+//	stampsim -exp figure1 -topo asrel.txt
+//
+// Experiments: figure1, figure1-intelligent, figure2, figure3a, figure3b,
+// node-failure, partial, overhead, convergence, ablation-lock,
+// ablation-mrai, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stamp/internal/disjoint"
+	"stamp/internal/experiments"
+	"stamp/internal/topology"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment to run")
+		n      = flag.Int("n", 1000, "topology size (ASes) when generating")
+		seed   = flag.Int64("seed", 1, "random seed")
+		trials = flag.Int("trials", 10, "failure trials per scenario")
+		topo   = flag.String("topo", "", "CAIDA AS-rel file to load instead of generating")
+	)
+	flag.Parse()
+
+	g, err := loadTopology(*topo, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stampsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("topology: %d ASes, %d links, %d tier-1s\n\n", g.Len(), g.EdgeCount(), len(g.Tier1s()))
+
+	run := func(name string) error {
+		switch name {
+		case "figure1":
+			experiments.RunFigure1(g, disjoint.DefaultPhiOpts()).Print(os.Stdout)
+		case "figure1-intelligent":
+			experiments.RunFigure1Intelligent(g, disjoint.DefaultPhiOpts()).Print(os.Stdout)
+		case "figure2":
+			return transient(g, experiments.ScenarioSingleLink, *trials, *seed)
+		case "figure3a":
+			return transient(g, experiments.ScenarioTwoLinksApart, *trials, *seed)
+		case "figure3b":
+			return transient(g, experiments.ScenarioTwoLinksShared, *trials, *seed)
+		case "node-failure":
+			return transient(g, experiments.ScenarioNodeFailure, *trials, *seed)
+		case "partial":
+			experiments.RunPartialDeployment(g).Print(os.Stdout)
+		case "overhead":
+			res, err := experiments.RunTransient(experiments.TransientOpts{
+				G: g, Trials: *trials, Seed: *seed, Scenario: experiments.ScenarioSingleLink,
+				Protocols: []experiments.Protocol{experiments.ProtoBGP, experiments.ProtoSTAMP},
+			})
+			if err != nil {
+				return err
+			}
+			o, err := res.Overhead()
+			if err != nil {
+				return err
+			}
+			o.Print(os.Stdout)
+		case "convergence":
+			res, err := experiments.RunTransient(experiments.TransientOpts{
+				G: g, Trials: *trials, Seed: *seed, Scenario: experiments.ScenarioSingleLink,
+				Protocols: []experiments.Protocol{experiments.ProtoBGP, experiments.ProtoSTAMP},
+			})
+			if err != nil {
+				return err
+			}
+			c, err := res.Convergence()
+			if err != nil {
+				return err
+			}
+			c.Print(os.Stdout)
+		case "ablation-lock":
+			dest := firstMultihomed(g)
+			r, err := experiments.RunLockAblation(g, dest, *seed)
+			if err != nil {
+				return err
+			}
+			r.Print(os.Stdout)
+		case "ablation-mrai":
+			r, err := experiments.RunMRAIAblation(g, *trials, *seed)
+			if err != nil {
+				return err
+			}
+			r.Print(os.Stdout)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{
+			"figure1", "figure1-intelligent", "figure2", "figure3a",
+			"figure3b", "partial", "overhead", "convergence",
+			"ablation-lock", "ablation-mrai",
+		}
+	}
+	for _, name := range names {
+		if err := run(name); err != nil {
+			fmt.Fprintln(os.Stderr, "stampsim:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func transient(g *topology.Graph, sc experiments.Scenario, trials int, seed int64) error {
+	res, err := experiments.RunTransient(experiments.TransientOpts{
+		G: g, Trials: trials, Seed: seed, Scenario: sc,
+	})
+	if err != nil {
+		return err
+	}
+	res.Print(os.Stdout)
+	return nil
+}
+
+func loadTopology(path string, n int, seed int64) (*topology.Graph, error) {
+	if path == "" {
+		return topology.GenerateDefault(n, seed)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, _, err := topology.ReadASRel(f)
+	return g, err
+}
+
+func firstMultihomed(g *topology.Graph) topology.ASN {
+	for a := 0; a < g.Len(); a++ {
+		if g.IsMultihomed(topology.ASN(a)) {
+			return topology.ASN(a)
+		}
+	}
+	return 0
+}

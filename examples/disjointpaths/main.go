@@ -1,0 +1,44 @@
+// Disjointpaths: the Φ analysis of §6.1 — how likely is it that STAMP's
+// random locked-blue-provider selection leaves every AS with both a red
+// and a blue path to each destination, and how much does intelligent
+// selection at the origin help?
+//
+//	go run ./examples/disjointpaths
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"stamp/internal/disjoint"
+	"stamp/internal/experiments"
+	"stamp/internal/topology"
+)
+
+func main() {
+	g, err := topology.GenerateDefault(1500, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topology: %d ASes, %d links, %d tier-1s\n\n", g.Len(), g.EdgeCount(), len(g.Tier1s()))
+
+	opts := disjoint.DefaultPhiOpts()
+
+	random := experiments.RunFigure1(g, opts)
+	random.Print(os.Stdout)
+	fmt.Println()
+
+	intelligent := experiments.RunFigure1Intelligent(g, opts)
+	intelligent.Print(os.Stdout)
+	fmt.Println()
+
+	partial := experiments.RunPartialDeployment(g)
+	partial.Print(os.Stdout)
+
+	fmt.Println()
+	fmt.Printf("summary: random Φ=%.3f → intelligent Φ=%.3f (paper: 0.92 → 0.97);\n",
+		random.Mean, intelligent.Mean)
+	fmt.Printf("tier-1-only deployment still protects %.0f%% of ASes (paper: ~75%%).\n",
+		100*partial.ProtectedFrac)
+}

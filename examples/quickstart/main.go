@@ -1,0 +1,73 @@
+// Quickstart: build a small AS topology, run STAMP to convergence, and
+// inspect the complementary red/blue paths an AS obtains.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stamp/internal/core"
+	"stamp/internal/sim"
+	"stamp/internal/topology"
+)
+
+func main() {
+	// A synthetic Internet-like topology: tier-1 clique on top, transit
+	// providers in the middle, multihomed stubs at the edge.
+	g, err := topology.GenerateDefault(200, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topology: %d ASes, %d links, tier-1s %v\n", g.Len(), g.EdgeCount(), g.Tier1s())
+
+	// One simulation = one destination prefix. Pick a multihomed stub.
+	var dest topology.ASN
+	for a := g.Len() - 1; a >= 0; a-- {
+		if g.IsMultihomed(topology.ASN(a)) {
+			dest = topology.ASN(a)
+			break
+		}
+	}
+	fmt.Printf("destination AS %d (providers %v)\n\n", dest, g.Providers(dest))
+
+	// Wire a STAMP node (red + blue process) into every AS.
+	engine := sim.NewEngine(sim.DefaultParams(), 7)
+	network := sim.NewNetwork(engine, g)
+	nodes := make([]*core.Node, g.Len())
+	for a := 0; a < g.Len(); a++ {
+		nodes[a] = core.NewNode(topology.ASN(a), g, engine, network)
+	}
+
+	// Originate the prefix and run the event-driven simulation until all
+	// processes converge.
+	nodes[dest].Originate()
+	events, err := engine.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged after %d events (%.1fs simulated)\n", events, engine.Now().Seconds())
+	fmt.Printf("locked blue provider of origin: AS %d\n\n", nodes[dest].LockedProvider())
+
+	// Show the complementary paths a few ASes hold.
+	shown := 0
+	for a := 0; a < g.Len() && shown < 5; a++ {
+		if topology.ASN(a) == dest {
+			continue
+		}
+		red, blue := nodes[a].Red.Best(), nodes[a].Blue.Best()
+		if red == nil || blue == nil {
+			continue
+		}
+		rp := append([]topology.ASN{topology.ASN(a)}, red.Path...)
+		bp := append([]topology.ASN{topology.ASN(a)}, blue.Path...)
+		disjoint, err := topology.DownhillDisjoint(g, rp, bp)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("AS %-4d red  %v\n", a, rp)
+		fmt.Printf("        blue %v  (downhill disjoint: %v)\n", bp, disjoint)
+		shown++
+	}
+}

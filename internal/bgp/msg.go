@@ -1,0 +1,75 @@
+package bgp
+
+import (
+	"fmt"
+
+	"stamp/internal/topology"
+)
+
+// Msg is the routing message exchanged between simulated AS processes. It
+// models a single-prefix BGP UPDATE: either an announcement carrying a
+// Route or a withdrawal.
+type Msg struct {
+	// Withdraw is true for a route withdrawal; Route is nil then.
+	Withdraw bool
+	// Route is the announced route (receiver perspective: Path[0] is the
+	// sender). Nil iff Withdraw.
+	Route *Route
+	// Color identifies the routing process the message belongs to.
+	Color Color
+	// CausedByLoss is the inverse of the paper's ET (Event Type)
+	// attribute: true (ET=0) when the update was ultimately triggered by
+	// the loss of a route, false (ET=1) otherwise. STAMP uses it on the
+	// data plane to decide when to switch to the other process's route.
+	CausedByLoss bool
+	// Failover marks an R-BGP failover-path advertisement, which is kept
+	// out of the normal decision process and only used when the primary
+	// next hop is unavailable.
+	Failover bool
+	// RootCause carries R-BGP's root-cause information: the link (or
+	// single AS, with B == -1) whose failure triggered this message.
+	// Receivers with RCI enabled purge all routes crossing the cause.
+	RootCause *Cause
+}
+
+// Cause identifies the root cause of a routing event for R-BGP's RCI
+// mechanism: the failed link {A, B}, or a failed AS A when B is -1.
+type Cause struct {
+	A, B topology.ASN
+}
+
+// IsNode reports whether the cause is a whole-AS failure.
+func (c *Cause) IsNode() bool { return c.B < 0 }
+
+// RouteAffected reports whether route r, held by an AS adjacent to `from`,
+// is invalidated by the cause: its path crosses the failed link or failed
+// AS.
+func (c *Cause) RouteAffected(r *Route) bool {
+	if r == nil || c == nil {
+		return false
+	}
+	if c.IsNode() {
+		return r.ContainsAS(c.A)
+	}
+	return r.ContainsLink(c.A, c.B)
+}
+
+// String renders the message for logs and tests.
+func (m Msg) String() string {
+	if m.Withdraw {
+		s := fmt.Sprintf("withdraw(%s)", m.Color)
+		if m.RootCause != nil {
+			s += fmt.Sprintf("+rc(%d,%d)", m.RootCause.A, m.RootCause.B)
+		}
+		return s
+	}
+	kind := "update"
+	if m.Failover {
+		kind = "failover"
+	}
+	et := 1
+	if m.CausedByLoss {
+		et = 0
+	}
+	return fmt.Sprintf("%s(%s, ET=%d)", kind, m.Route, et)
+}

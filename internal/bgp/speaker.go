@@ -1,0 +1,286 @@
+package bgp
+
+import (
+	"time"
+
+	"stamp/internal/sim"
+	"stamp/internal/topology"
+)
+
+// Out describes what a node wants advertised to one neighbor: a route, or
+// nil for withdrawal, plus the event-type metadata to attach.
+type Out struct {
+	// Route is the route to advertise (receiver perspective), nil to
+	// withdraw any previous advertisement.
+	Route *Route
+	// Loss marks the advertisement as ultimately caused by a route loss
+	// (the paper's ET=0).
+	Loss bool
+	// Cause optionally carries R-BGP root-cause information.
+	Cause *Cause
+}
+
+// Speaker is one BGP routing process at one AS: it maintains the
+// Adj-RIB-In, runs the decision process, and paces outbound announcements
+// with per-peer MRAI timers. What gets announced to whom is decided by the
+// owning node via SetDesired, which is how STAMP's selective announcements
+// and R-BGP's failover advertisements are layered on top of an unchanged
+// process — exactly the paper's "mostly unchanged BGP process" design.
+type Speaker struct {
+	Self  topology.ASN
+	Color Color
+	G     *topology.Graph
+	E     *sim.Engine
+	// Send transmits a message to a neighbor. Set by the owning node.
+	Send func(to topology.ASN, m Msg)
+	// OnBestChange fires after the best route changes; loss reports
+	// whether the change was triggered by losing a route (ET=0 semantics).
+	OnBestChange func(loss bool)
+
+	ribIn     map[topology.ASN]*Route
+	best      *Route
+	origin    *Route
+	sessionUp map[topology.ASN]bool
+
+	desired     map[topology.ASN]Out
+	lastSent    map[topology.ASN]*Route
+	mraiRunning map[topology.ASN]bool
+
+	// Unstable is the data-plane instability flag of §5.2: set when the
+	// process loses its route or its best route is replaced due to a
+	// loss-caused update; cleared when a non-loss update installs a best
+	// route or when the process settles (no loss-caused changes for the
+	// engine's SettleDelay). The forwarding plane switches colors based
+	// on it.
+	Unstable bool
+	// OnStabilize, when non-nil, fires when the settle timer clears
+	// Unstable, so owners can refresh data-plane observers.
+	OnStabilize func()
+
+	lastLossAt time.Duration
+
+	// UpdatesSent counts announcements, WithdrawalsSent withdrawals, for
+	// the protocol overhead experiment.
+	UpdatesSent     int64
+	WithdrawalsSent int64
+}
+
+// NewSpeaker builds a speaker for AS self with sessions to all its
+// topology neighbors initially up.
+func NewSpeaker(self topology.ASN, color Color, g *topology.Graph, e *sim.Engine, send func(to topology.ASN, m Msg)) *Speaker {
+	s := &Speaker{
+		Self:        self,
+		Color:       color,
+		G:           g,
+		E:           e,
+		Send:        send,
+		ribIn:       make(map[topology.ASN]*Route),
+		sessionUp:   make(map[topology.ASN]bool),
+		desired:     make(map[topology.ASN]Out),
+		lastSent:    make(map[topology.ASN]*Route),
+		mraiRunning: make(map[topology.ASN]bool),
+	}
+	var nbrs []topology.ASN
+	for _, n := range g.Neighbors(nbrs, self) {
+		s.sessionUp[n] = true
+	}
+	return s
+}
+
+// Best returns the current best route (nil if none).
+func (s *Speaker) Best() *Route { return s.best }
+
+// RibIn returns the route learned from one neighbor (nil if none).
+func (s *Speaker) RibIn(nbr topology.ASN) *Route { return s.ribIn[nbr] }
+
+// RibInAll iterates over all Adj-RIB-In entries.
+func (s *Speaker) RibInAll(f func(nbr topology.ASN, r *Route)) {
+	for n, r := range s.ribIn {
+		f(n, r)
+	}
+}
+
+// SessionUp reports whether the session to nbr is up.
+func (s *Speaker) SessionUp(nbr topology.ASN) bool { return s.sessionUp[nbr] }
+
+// Originate makes this speaker the origin of the prefix.
+func (s *Speaker) Originate() {
+	s.origin = &Route{From: s.Self, Origin: true, Color: s.Color}
+	s.evaluate(false)
+}
+
+// StopOriginating withdraws local origination (a route withdrawal event).
+func (s *Speaker) StopOriginating() {
+	if s.origin == nil {
+		return
+	}
+	s.origin = nil
+	s.evaluate(true)
+}
+
+// HandleMsg processes one inbound routing message. Messages from down
+// sessions are discarded: no session, no routes — the network layer
+// already drops in-flight traffic on failure, this guards the speaker
+// itself.
+func (s *Speaker) HandleMsg(from topology.ASN, m Msg) {
+	if m.Color != s.Color || !s.sessionUp[from] {
+		return
+	}
+	if m.Withdraw {
+		if _, ok := s.ribIn[from]; !ok {
+			return
+		}
+		delete(s.ribIn, from)
+		s.evaluate(true)
+		return
+	}
+	r := m.Route.Clone()
+	if r.ContainsAS(s.Self) {
+		// Loop: the neighbor now routes through us; treat as implicit
+		// withdrawal of whatever it previously offered.
+		if _, ok := s.ribIn[from]; ok {
+			delete(s.ribIn, from)
+			s.evaluate(true)
+		}
+		return
+	}
+	r.From = from
+	r.FromRel = s.G.Rel(s.Self, from)
+	s.ribIn[from] = r
+	s.evaluate(m.CausedByLoss)
+}
+
+// PeerDown tears down the session to nbr: its routes are lost and nothing
+// further is sent to it until PeerUp.
+func (s *Speaker) PeerDown(nbr topology.ASN) {
+	if !s.sessionUp[nbr] {
+		return
+	}
+	s.sessionUp[nbr] = false
+	delete(s.lastSent, nbr)
+	if _, ok := s.ribIn[nbr]; ok {
+		delete(s.ribIn, nbr)
+		s.evaluate(true)
+	}
+}
+
+// PeerUp restores the session to nbr and replays the desired
+// advertisement.
+func (s *Speaker) PeerUp(nbr topology.ASN) {
+	if s.sessionUp[nbr] {
+		return
+	}
+	s.sessionUp[nbr] = true
+	s.pump(nbr)
+}
+
+// SetDesired records what should be advertised to nbr and pumps the
+// output machinery (immediately for withdrawals, MRAI-paced for
+// announcements).
+func (s *Speaker) SetDesired(nbr topology.ASN, o Out) {
+	s.desired[nbr] = o
+	s.pump(nbr)
+}
+
+// Desired returns the currently desired advertisement for nbr.
+func (s *Speaker) Desired(nbr topology.ASN) Out { return s.desired[nbr] }
+
+// evaluate reruns the decision process; loss tags the triggering event as
+// loss-caused for ET bookkeeping.
+func (s *Speaker) evaluate(loss bool) {
+	var best *Route
+	if s.origin != nil {
+		best = s.origin
+	}
+	for _, r := range s.ribIn {
+		if Better(r, best) {
+			best = r
+		}
+	}
+	if routesIdentical(best, s.best) {
+		s.best = best
+		return
+	}
+	s.best = best
+	if loss {
+		s.Unstable = true
+		s.lastLossAt = s.E.Now()
+		if d := s.E.P.SettleDelay; d > 0 {
+			at := s.lastLossAt
+			s.E.After(d, func() {
+				if s.Unstable && s.lastLossAt == at {
+					s.Unstable = false
+					if s.OnStabilize != nil {
+						s.OnStabilize()
+					}
+				}
+			})
+		}
+	} else if best != nil {
+		s.Unstable = false
+	}
+	if s.OnBestChange != nil {
+		s.OnBestChange(loss)
+	}
+}
+
+// routesIdentical compares two routes including receiver-local fields, to
+// suppress no-op best changes.
+func routesIdentical(a, b *Route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.From == b.From && a.Equal(b)
+}
+
+// pump advances the output state machine for one neighbor.
+func (s *Speaker) pump(nbr topology.ASN) {
+	if !s.sessionUp[nbr] {
+		return
+	}
+	d := s.desired[nbr]
+	last := s.lastSent[nbr]
+	if d.Route == nil {
+		if last != nil {
+			delete(s.lastSent, nbr)
+			s.WithdrawalsSent++
+			s.Send(nbr, Msg{Withdraw: true, Color: s.Color, CausedByLoss: true, RootCause: d.Cause})
+		}
+		return
+	}
+	if last != nil && d.Route.Equal(last) {
+		return
+	}
+	if d.Cause != nil {
+		// Root-caused updates (R-BGP RCI) bypass MRAI: the failure
+		// information must outrun stale-path exploration to be useful.
+		s.lastSent[nbr] = d.Route
+		s.UpdatesSent++
+		s.Send(nbr, Msg{Route: d.Route.Clone(), Color: s.Color, CausedByLoss: d.Loss, RootCause: d.Cause})
+		return
+	}
+	if s.mraiRunning[nbr] {
+		return // pump re-runs when the timer expires
+	}
+	s.lastSent[nbr] = d.Route
+	s.UpdatesSent++
+	s.Send(nbr, Msg{Route: d.Route.Clone(), Color: s.Color, CausedByLoss: d.Loss, RootCause: d.Cause})
+	s.mraiRunning[nbr] = true
+	s.E.After(s.E.MRAI(), func() {
+		s.mraiRunning[nbr] = false
+		s.pump(nbr)
+	})
+}
+
+// HasRoute reports whether the process currently has any route.
+func (s *Speaker) HasRoute() bool { return s.best != nil }
+
+// NextHop returns the forwarding next hop of the best route. For an
+// originated route ok is true with the AS itself, which callers treat as
+// "delivered".
+func (s *Speaker) NextHop() (topology.ASN, bool) {
+	if s.best == nil {
+		return 0, false
+	}
+	return s.best.From, true
+}

@@ -1,0 +1,184 @@
+package disjoint
+
+import "stamp/internal/topology"
+
+// TwoDisjointUphillPaths reports whether two node-disjoint (except the
+// source) uphill paths exist from `from` to two distinct tier-1 ASes.
+// This is the structural upper bound on STAMP obtaining both a red and a
+// blue path for a destination, and the quantity behind the
+// partial-deployment analysis.
+//
+// It runs unit-capacity max-flow with node splitting on the uphill DAG
+// from `from` to a virtual sink behind all tier-1 ASes, asking for flow
+// value two. Two BFS augmentations on the residual graph suffice.
+func TwoDisjointUphillPaths(g *topology.Graph, from topology.ASN) bool {
+	if g.IsTier1(from) {
+		return false
+	}
+	n := g.Len()
+	// Node i splits into in-node 2i and out-node 2i+1; sink is 2n. The
+	// internal edge 2i -> 2i+1 has capacity 1 (except the source, which is
+	// uncapacitated by starting flow at its out-node). Tier-1 out-nodes
+	// connect to the sink with capacity 1 (a tier-1 can terminate only one
+	// of the two paths, forcing distinct tier-1 endpoints).
+	type edge struct {
+		to  int
+		cap int8
+		rev int // index of reverse edge in adj[to]
+	}
+	adj := make([][]edge, 2*n+1)
+	addEdge := func(u, v int) {
+		adj[u] = append(adj[u], edge{to: v, cap: 1, rev: len(adj[v])})
+		adj[v] = append(adj[v], edge{to: u, cap: 0, rev: len(adj[u]) - 1})
+	}
+	for a := 0; a < n; a++ {
+		addEdge(2*a, 2*a+1) // node capacity
+		for _, p := range g.Providers(topology.ASN(a)) {
+			addEdge(2*a+1, 2*int(p))
+		}
+		if g.IsTier1(topology.ASN(a)) {
+			addEdge(2*a+1, 2*n)
+		}
+	}
+	src, sink := 2*int(from)+1, 2*n
+
+	// Two rounds of BFS augmenting paths (Edmonds-Karp limited to flow 2).
+	parent := make([]int, len(adj))     // node we came from
+	parentEdge := make([]int, len(adj)) // edge index used
+	flow := 0
+	for round := 0; round < 2; round++ {
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[src] = src
+		queue := []int{src}
+		found := false
+		for len(queue) > 0 && !found {
+			u := queue[0]
+			queue = queue[1:]
+			for ei, e := range adj[u] {
+				if e.cap <= 0 || parent[e.to] != -1 {
+					continue
+				}
+				parent[e.to] = u
+				parentEdge[e.to] = ei
+				if e.to == sink {
+					found = true
+					break
+				}
+				queue = append(queue, e.to)
+			}
+		}
+		if !found {
+			break
+		}
+		// Augment along the found path.
+		for v := sink; v != src; {
+			u := parent[v]
+			e := &adj[u][parentEdge[v]]
+			e.cap--
+			adj[v][e.rev].cap++
+			v = u
+		}
+		flow++
+	}
+	return flow >= 2
+}
+
+// PartialDeployment evaluates STAMP deployed only at the given ASes
+// (typically the tier-1 clique): for every destination AS d it checks
+// whether two downhill node-disjoint paths to d survive the restriction
+// that route diversification can only happen at deployed ASes.
+//
+// Modeling (the paper describes this experiment only briefly; the
+// long-form tech report is unavailable): below the deployed tier, every
+// AS runs a single BGP process and announces only its best route upward.
+// The prefix of d therefore reaches each tier-1 along a single,
+// BGP-determined path — the customer announcement tree of d, built with
+// prefer-customer/shortest-path/lowest-ASN tie-breaks. Deployed tier-1s
+// can then offer complementary routes if and only if at least two of them
+// have node-disjoint tree paths to d. The returned slice holds, per AS,
+// 1 if protected and 0 otherwise; the mean is the paper's "~75% of ASes"
+// statistic (§6.3).
+func PartialDeployment(g *topology.Graph, deployed func(topology.ASN) bool) []float64 {
+	n := g.Len()
+	out := make([]float64, n)
+	for d := 0; d < n; d++ {
+		if protectedUnderPartial(g, topology.ASN(d), deployed) {
+			out[d] = 1
+		}
+	}
+	return out
+}
+
+// protectedUnderPartial builds d's upward BGP announcement tree and
+// checks for two node-disjoint deployed-AS paths.
+func protectedUnderPartial(g *topology.Graph, d topology.ASN, deployed func(topology.ASN) bool) bool {
+	if deployed(d) {
+		// A deployed origin colors its own announcements; fall back to the
+		// structural check.
+		return TwoDisjointUphillPaths(g, d)
+	}
+	n := g.Len()
+	// BFS up provider edges from d, recording each AS's single chosen
+	// parent (shortest uphill distance, lowest parent ASN tie-break).
+	const inf = int32(1 << 30)
+	dist := make([]int32, n)
+	parent := make([]topology.ASN, n)
+	for i := range dist {
+		dist[i] = inf
+		parent[i] = -1
+	}
+	dist[d] = 0
+	queue := []topology.ASN{d}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, p := range g.Providers(v) {
+			switch {
+			case dist[p] == inf:
+				dist[p] = dist[v] + 1
+				parent[p] = v
+				queue = append(queue, p)
+			case dist[p] == dist[v]+1 && v < parent[p]:
+				parent[p] = v
+			}
+		}
+	}
+	// Collect the tree path from each reachable deployed AS down to d and
+	// look for a node-disjoint pair.
+	var paths [][]topology.ASN
+	for a := 0; a < n; a++ {
+		v := topology.ASN(a)
+		if !deployed(v) || dist[v] == inf || v == d {
+			continue
+		}
+		var path []topology.ASN
+		for u := v; u != d; u = parent[u] {
+			path = append(path, u)
+		}
+		paths = append(paths, path)
+	}
+	for i := 0; i < len(paths); i++ {
+		for j := i + 1; j < len(paths); j++ {
+			if nodeDisjoint(paths[i], paths[j]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nodeDisjoint reports whether two AS lists share no element.
+func nodeDisjoint(a, b []topology.ASN) bool {
+	seen := make(map[topology.ASN]bool, len(a))
+	for _, v := range a {
+		seen[v] = true
+	}
+	for _, v := range b {
+		if seen[v] {
+			return false
+		}
+	}
+	return true
+}

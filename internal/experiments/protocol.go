@@ -1,0 +1,188 @@
+// Package experiments contains one harness per figure and claim in the
+// paper's evaluation (§6): the Φ disjointness CDF (Figure 1), transient
+// problems under single and multiple link failures for BGP, R-BGP with
+// and without RCI, and STAMP (Figures 2 and 3), and the §6.3 experiments
+// on partial deployment, protocol overhead, and convergence delay.
+package experiments
+
+import (
+	"fmt"
+
+	"stamp/internal/bgp"
+	"stamp/internal/core"
+	"stamp/internal/forwarding"
+	"stamp/internal/rbgp"
+	"stamp/internal/sim"
+	"stamp/internal/topology"
+)
+
+// Protocol selects the routing protocol under test.
+type Protocol int
+
+const (
+	// ProtoBGP is standard BGP.
+	ProtoBGP Protocol = iota
+	// ProtoRBGPNoRCI is R-BGP with failover paths but without root cause
+	// information.
+	ProtoRBGPNoRCI
+	// ProtoRBGP is full R-BGP with RCI.
+	ProtoRBGP
+	// ProtoSTAMP is the paper's multi-process protocol.
+	ProtoSTAMP
+)
+
+// AllProtocols lists the four protocols in the paper's presentation
+// order.
+func AllProtocols() []Protocol {
+	return []Protocol{ProtoBGP, ProtoRBGPNoRCI, ProtoRBGP, ProtoSTAMP}
+}
+
+// String names the protocol as in the paper's figures.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoBGP:
+		return "BGP"
+	case ProtoRBGPNoRCI:
+		return "R-BGP without RCI"
+	case ProtoRBGP:
+		return "R-BGP"
+	case ProtoSTAMP:
+		return "STAMP"
+	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// instance is a fully built simulation of one protocol on one topology
+// with one destination.
+type instance struct {
+	proto Protocol
+	g     *topology.Graph
+	e     *sim.Engine
+	net   *sim.Network
+	dest  topology.ASN
+
+	bgpNodes   []*bgp.Node
+	rbgpNodes  []*rbgp.Node
+	stampNodes []*core.Node
+}
+
+// buildInstance constructs engine, network, and per-AS protocol nodes,
+// and originates the prefix at dest. bluePick customizes the origin's
+// locked blue provider selection for STAMP (nil for random).
+func buildInstance(proto Protocol, g *topology.Graph, params sim.Params, seed int64, dest topology.ASN, bluePick core.BluePicker) *instance {
+	in := &instance{proto: proto, g: g, dest: dest}
+	in.e = sim.NewEngine(params, seed)
+	in.net = sim.NewNetwork(in.e, g)
+	n := g.Len()
+	switch proto {
+	case ProtoBGP:
+		in.bgpNodes = make([]*bgp.Node, n)
+		for a := 0; a < n; a++ {
+			in.bgpNodes[a] = bgp.NewNode(topology.ASN(a), g, in.e, in.net)
+		}
+		in.bgpNodes[dest].Originate()
+	case ProtoRBGPNoRCI, ProtoRBGP:
+		rci := proto == ProtoRBGP
+		in.rbgpNodes = make([]*rbgp.Node, n)
+		for a := 0; a < n; a++ {
+			in.rbgpNodes[a] = rbgp.NewNode(topology.ASN(a), g, in.e, in.net, rci)
+		}
+		in.rbgpNodes[dest].Originate()
+	case ProtoSTAMP:
+		in.stampNodes = make([]*core.Node, n)
+		for a := 0; a < n; a++ {
+			in.stampNodes[a] = core.NewNode(topology.ASN(a), g, in.e, in.net)
+		}
+		if bluePick != nil {
+			in.stampNodes[dest].BluePick = bluePick
+		}
+		in.stampNodes[dest].Originate()
+	}
+	return in
+}
+
+// setRouteEventHook installs fn as every node's OnRouteEvent callback.
+func (in *instance) setRouteEventHook(fn func()) {
+	for _, n := range in.bgpNodes {
+		n.OnRouteEvent = fn
+	}
+	for _, n := range in.rbgpNodes {
+		n.OnRouteEvent = fn
+	}
+	for _, n := range in.stampNodes {
+		n.OnRouteEvent = fn
+	}
+}
+
+// setTableChangeHook installs fn as every node's OnTableChange callback
+// (fired only on real best-route changes, for convergence timing).
+func (in *instance) setTableChangeHook(fn func()) {
+	for _, n := range in.bgpNodes {
+		n.OnTableChange = fn
+	}
+	for _, n := range in.rbgpNodes {
+		n.OnTableChange = fn
+	}
+	for _, n := range in.stampNodes {
+		n.OnTableChange = fn
+	}
+}
+
+// classify runs the protocol-appropriate data-plane walker.
+func (in *instance) classify() []forwarding.Status {
+	n := in.g.Len()
+	switch in.proto {
+	case ProtoBGP:
+		return forwarding.ClassifySingle(n, in.dest, func(v topology.ASN) (topology.ASN, bool) {
+			return in.bgpNodes[v].NextHop()
+		})
+	case ProtoRBGPNoRCI, ProtoRBGP:
+		return forwarding.ClassifyRBGP(n, in.dest, rbgpView{in.rbgpNodes, in.net})
+	default:
+		return forwarding.ClassifyStamp(n, in.dest, stampView{in.stampNodes})
+	}
+}
+
+// messageCounts sums update and withdrawal counts across all speakers.
+func (in *instance) messageCounts() (updates, withdrawals int64) {
+	for _, n := range in.bgpNodes {
+		updates += n.Sp.UpdatesSent
+		withdrawals += n.Sp.WithdrawalsSent
+	}
+	for _, n := range in.rbgpNodes {
+		updates += n.Sp.UpdatesSent
+		withdrawals += n.Sp.WithdrawalsSent
+	}
+	for _, n := range in.stampNodes {
+		updates += n.Red.UpdatesSent + n.Blue.UpdatesSent
+		withdrawals += n.Red.WithdrawalsSent + n.Blue.WithdrawalsSent
+	}
+	return updates, withdrawals
+}
+
+// rbgpView adapts the R-BGP node slice to the forwarding walker.
+type rbgpView struct {
+	nodes []*rbgp.Node
+	net   *sim.Network
+}
+
+func (v rbgpView) Primary(as topology.ASN) (topology.ASN, bool) {
+	return v.nodes[as].Primary()
+}
+func (v rbgpView) Deflect(as, prev topology.ASN) []topology.ASN {
+	return v.nodes[as].Deflect(prev)
+}
+func (v rbgpView) LinkUp(a, b topology.ASN) bool { return v.net.LinkUp(a, b) }
+
+// stampView adapts the STAMP node slice to the forwarding walker.
+type stampView struct{ nodes []*core.Node }
+
+func (v stampView) NextHop(as topology.ASN, c bgp.Color) (topology.ASN, bool) {
+	return v.nodes[as].NextHop(c)
+}
+func (v stampView) Unstable(as topology.ASN, c bgp.Color) bool {
+	return v.nodes[as].Unstable(c)
+}
+func (v stampView) Preferred(as topology.ASN) bgp.Color {
+	return v.nodes[as].Preferred()
+}

@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"stamp/internal/forwarding"
+	"stamp/internal/sim"
+	"stamp/internal/topology"
+)
+
+// Scenario selects the failure workload of §6.2.
+type Scenario int
+
+const (
+	// ScenarioSingleLink fails one provider link of the (multi-homed)
+	// destination AS — Figure 2.
+	ScenarioSingleLink Scenario = iota
+	// ScenarioTwoLinksApart fails a provider link of the destination and
+	// an indirect provider link multiple hops away, not sharing any AS —
+	// Figure 3(a).
+	ScenarioTwoLinksApart
+	// ScenarioTwoLinksShared fails a provider link of the destination and
+	// a provider link of that same provider — Figure 3(b).
+	ScenarioTwoLinksShared
+	// ScenarioNodeFailure fails an entire provider AS of the destination
+	// (the paper's single-node-failure variant).
+	ScenarioNodeFailure
+)
+
+// String names the scenario.
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioSingleLink:
+		return "single link failure"
+	case ScenarioTwoLinksApart:
+		return "two link failures (no shared AS)"
+	case ScenarioTwoLinksShared:
+		return "two link failures (shared AS)"
+	case ScenarioNodeFailure:
+		return "single node failure"
+	}
+	return fmt.Sprintf("Scenario(%d)", int(s))
+}
+
+// TransientOpts configures a transient-problem experiment.
+type TransientOpts struct {
+	// G is the AS topology.
+	G *topology.Graph
+	// Params is the simulation timing model (DefaultParams if zero).
+	Params sim.Params
+	// Trials is the number of random destination/failure instances
+	// (the paper uses 100).
+	Trials int
+	// Seed drives all trial randomness.
+	Seed int64
+	// Scenario is the failure workload.
+	Scenario Scenario
+	// Protocols under test (AllProtocols if nil).
+	Protocols []Protocol
+}
+
+// ProtocolStats aggregates one protocol's results over all trials.
+type ProtocolStats struct {
+	// MeanAffected is the average number of ASes experiencing transient
+	// problems per trial — the paper's figures 2 and 3 metric.
+	MeanAffected float64
+	// MeanConvergence is the average time from failure injection to the
+	// last routing change.
+	MeanConvergence time.Duration
+	// MeanUpdates / MeanWithdrawals are the average message counts during
+	// failure convergence.
+	MeanUpdates     float64
+	MeanWithdrawals float64
+	// InitialUpdates is the average message count of initial route
+	// propagation (used by the overhead experiment).
+	InitialUpdates float64
+	// Affected holds per-trial affected counts for distribution analysis.
+	Affected []int
+}
+
+// TransientResult is the outcome of RunTransient.
+type TransientResult struct {
+	Scenario Scenario
+	Trials   int
+	Stats    map[Protocol]*ProtocolStats
+}
+
+// failureSet is one trial's workload: the destination plus links to fail
+// (for node failure, Node >= 0).
+type failureSet struct {
+	dest  topology.ASN
+	links [][2]topology.ASN
+	node  topology.ASN
+}
+
+// pickFailure draws a destination and failure set for the scenario.
+func pickFailure(g *topology.Graph, sc Scenario, rng *rand.Rand) (failureSet, error) {
+	var multihomed []topology.ASN
+	for a := 0; a < g.Len(); a++ {
+		if g.IsMultihomed(topology.ASN(a)) {
+			multihomed = append(multihomed, topology.ASN(a))
+		}
+	}
+	if len(multihomed) == 0 {
+		return failureSet{}, fmt.Errorf("experiments: topology has no multi-homed AS")
+	}
+	const maxTries = 1000
+	for try := 0; try < maxTries; try++ {
+		dest := multihomed[rng.Intn(len(multihomed))]
+		provs := g.Providers(dest)
+		p := provs[rng.Intn(len(provs))]
+		fs := failureSet{dest: dest, node: -1}
+		switch sc {
+		case ScenarioSingleLink:
+			fs.links = [][2]topology.ASN{{dest, p}}
+			return fs, nil
+		case ScenarioNodeFailure:
+			fs.node = p
+			return fs, nil
+		case ScenarioTwoLinksShared:
+			pp := g.Providers(p)
+			if len(pp) == 0 {
+				continue // p is tier-1; resample
+			}
+			fs.links = [][2]topology.ASN{{dest, p}, {p, pp[rng.Intn(len(pp))]}}
+			return fs, nil
+		case ScenarioTwoLinksApart:
+			link2, ok := pickIndirectProviderLink(g, dest, p, rng)
+			if !ok {
+				continue
+			}
+			fs.links = [][2]topology.ASN{{dest, p}, link2}
+			return fs, nil
+		}
+	}
+	return failureSet{}, fmt.Errorf("experiments: could not build %v workload", sc)
+}
+
+// pickIndirectProviderLink random-walks up the provider hierarchy from
+// the destination and returns a customer-provider link at least one hop
+// away whose endpoints avoid both the destination and its failed provider
+// p (the "not connected to the same AS" condition of Figure 3(a)).
+func pickIndirectProviderLink(g *topology.Graph, dest, p topology.ASN, rng *rand.Rand) ([2]topology.ASN, bool) {
+	for attempt := 0; attempt < 50; attempt++ {
+		provs := g.Providers(dest)
+		v := provs[rng.Intn(len(provs))]
+		if v == p {
+			continue
+		}
+		// Climb a random number of additional steps, then fail the next
+		// link up.
+		steps := rng.Intn(2)
+		ok := true
+		for i := 0; i < steps; i++ {
+			up := g.Providers(v)
+			if len(up) == 0 {
+				ok = false
+				break
+			}
+			v = up[rng.Intn(len(up))]
+			if v == p || v == dest {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		up := g.Providers(v)
+		if len(up) == 0 {
+			continue
+		}
+		w := up[rng.Intn(len(up))]
+		if w == p || w == dest || v == p || v == dest {
+			continue
+		}
+		return [2]topology.ASN{v, w}, true
+	}
+	return [2]topology.ASN{}, false
+}
+
+// RunTransient measures the number of ASes experiencing transient routing
+// problems for each protocol under the given failure scenario, averaged
+// over Trials random instances — the harness behind Figures 2 and 3.
+func RunTransient(opts TransientOpts) (*TransientResult, error) {
+	if opts.G == nil {
+		return nil, fmt.Errorf("experiments: nil topology")
+	}
+	if opts.Trials <= 0 {
+		opts.Trials = 1
+	}
+	if opts.Params == (sim.Params{}) {
+		opts.Params = sim.DefaultParams()
+	}
+	protos := opts.Protocols
+	if protos == nil {
+		protos = AllProtocols()
+	}
+	res := &TransientResult{
+		Scenario: opts.Scenario,
+		Trials:   opts.Trials,
+		Stats:    make(map[Protocol]*ProtocolStats),
+	}
+	for _, p := range protos {
+		res.Stats[p] = &ProtocolStats{}
+	}
+
+	scenarioRng := rand.New(rand.NewSource(opts.Seed))
+	for trial := 0; trial < opts.Trials; trial++ {
+		fs, err := pickFailure(opts.G, opts.Scenario, scenarioRng)
+		if err != nil {
+			return nil, err
+		}
+		for _, proto := range protos {
+			tr, err := runOneTrial(opts.G, opts.Params, proto, fs, opts.Seed+int64(trial)*7919+int64(proto))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %v trial %d: %w", proto, trial, err)
+			}
+			st := res.Stats[proto]
+			st.Affected = append(st.Affected, tr.affected)
+			st.MeanAffected += float64(tr.affected)
+			st.MeanConvergence += tr.convergence
+			st.MeanUpdates += float64(tr.updates)
+			st.MeanWithdrawals += float64(tr.withdrawals)
+			st.InitialUpdates += float64(tr.initialUpdates)
+		}
+	}
+	for _, st := range res.Stats {
+		n := float64(opts.Trials)
+		st.MeanAffected /= n
+		st.MeanConvergence = time.Duration(float64(st.MeanConvergence) / n)
+		st.MeanUpdates /= n
+		st.MeanWithdrawals /= n
+		st.InitialUpdates /= n
+	}
+	return res, nil
+}
+
+// trialResult is the outcome of one protocol on one failure instance.
+type trialResult struct {
+	affected       int
+	convergence    time.Duration
+	updates        int64
+	withdrawals    int64
+	initialUpdates int64
+}
+
+// runOneTrial converges the protocol, injects the failure, sweeps the
+// data plane throughout re-convergence, and counts ASes that both
+// experienced a transient problem and are fine once converged (problems
+// of permanently disconnected ASes are not transient).
+func runOneTrial(g *topology.Graph, params sim.Params, proto Protocol, fs failureSet, seed int64) (trialResult, error) {
+	in := buildInstance(proto, g, params, seed, fs.dest, nil)
+	if _, err := in.e.Run(); err != nil {
+		return trialResult{}, fmt.Errorf("initial convergence: %w", err)
+	}
+	initialUpd, _ := in.messageCounts()
+
+	n := g.Len()
+	affectedAcc := make([]bool, n)
+	var lastChange time.Duration
+	// Data-plane sweeps are coalesced: the first route event schedules a
+	// sweep shortly afterwards, and further events before it fires are
+	// folded in. This bounds classification work on exploration-heavy
+	// trials while still observing every inter-burst state (routing state
+	// only changes at events).
+	const sweepLag = time.Millisecond
+	sweepScheduled := false
+	t0 := in.e.Now()
+	// Problems are only counted once the ASes adjacent to the failures
+	// have had time to detect them (Theorem 5.1's accounting): detection
+	// notifications arrive within MaxDelay of the event.
+	countFrom := t0 + params.MaxDelay + sweepLag
+	in.setTableChangeHook(func() { lastChange = in.e.Now() })
+	in.setRouteEventHook(func() {
+		if sweepScheduled {
+			return
+		}
+		sweepScheduled = true
+		in.e.After(sweepLag, func() {
+			sweepScheduled = false
+			if in.e.Now() < countFrom {
+				return
+			}
+			forwarding.Affected(affectedAcc, in.classify())
+		})
+	})
+	lastChange = t0
+	if fs.node >= 0 {
+		in.net.FailNode(fs.node)
+	}
+	for _, l := range fs.links {
+		if err := in.net.FailLink(l[0], l[1]); err != nil {
+			return trialResult{}, err
+		}
+	}
+	if _, err := in.e.Run(); err != nil {
+		return trialResult{}, fmt.Errorf("failure convergence: %w", err)
+	}
+	in.setRouteEventHook(nil)
+	in.setTableChangeHook(nil)
+
+	final := in.classify()
+	affected := 0
+	for a := 0; a < n; a++ {
+		if affectedAcc[a] && final[a] == forwarding.Delivered {
+			affected++
+		}
+	}
+	upd, wd := in.messageCounts()
+	return trialResult{
+		affected:       affected,
+		convergence:    lastChange - t0,
+		updates:        upd - initialUpd,
+		withdrawals:    wd,
+		initialUpdates: initialUpd,
+	}, nil
+}

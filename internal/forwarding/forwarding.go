@@ -1,0 +1,310 @@
+// Package forwarding classifies the data plane of a converging routing
+// system: for every AS it decides whether a packet originated there would
+// currently be delivered to the destination, caught in a forwarding loop,
+// or blackholed. The classifiers implement the paper's forwarding models:
+// plain next-hop walking for BGP, previous-hop-aware walking for R-BGP's
+// failover forwarding, and color-aware walking with the switch-once rule
+// for STAMP (§5.1).
+package forwarding
+
+import (
+	"stamp/internal/bgp"
+	"stamp/internal/topology"
+)
+
+// Status is the data-plane outcome for a packet source.
+type Status uint8
+
+const (
+	// Delivered means the packet reaches the destination.
+	Delivered Status = iota
+	// Loop means the packet enters a forwarding loop.
+	Loop
+	// Blackhole means the packet reaches an AS with no usable route.
+	Blackhole
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Delivered:
+		return "delivered"
+	case Loop:
+		return "loop"
+	case Blackhole:
+		return "blackhole"
+	}
+	return "unknown"
+}
+
+// Internal walk states: 0 unknown, 1 visiting, then done statuses offset
+// by doneBase.
+const (
+	stUnknown  uint8 = 0
+	stVisiting uint8 = 1
+	doneBase   uint8 = 2
+)
+
+// ClassifySingle walks the next-hop graph of a single-process protocol
+// (plain BGP). nextHop returns the forwarding neighbor of an AS (ok false
+// when it has no usable route; returning the AS itself means locally
+// delivered). The result has one status per AS.
+//
+// Memoization is sound because forwarding is deterministic: the outcome
+// from any AS is a function of the AS alone.
+func ClassifySingle(n int, dest topology.ASN, nextHop func(topology.ASN) (topology.ASN, bool)) []Status {
+	state := make([]uint8, n)
+	var walk func(v topology.ASN) Status
+	walk = func(v topology.ASN) Status {
+		if s := state[v]; s >= doneBase {
+			return Status(s - doneBase)
+		} else if s == stVisiting {
+			return Loop
+		}
+		state[v] = stVisiting
+		var st Status
+		nh, ok := nextHop(v)
+		switch {
+		case v == dest:
+			st = Delivered
+		case !ok:
+			st = Blackhole
+		case nh == v:
+			st = Delivered
+		default:
+			st = walk(nh)
+		}
+		state[v] = doneBase + uint8(st)
+		return st
+	}
+	out := make([]Status, n)
+	for v := 0; v < n; v++ {
+		out[v] = walk(topology.ASN(v))
+	}
+	return out
+}
+
+// ClassifyWithPrev walks a next-hop graph whose forwarding decision
+// depends on the arriving interface, as in R-BGP where a packet arriving
+// from the AS's own next hop is deflected onto the failover path. nextHop
+// receives (current AS, previous AS or -1 for locally sourced packets).
+func ClassifyWithPrev(n int, dest topology.ASN, nextHop func(cur, prev topology.ASN) (topology.ASN, bool)) []Status {
+	// State key: cur*(n+1) + prev+1. Sparse, so a map is used, with the
+	// visiting sentinel folded in.
+	state := make(map[int64]uint8)
+	key := func(cur, prev topology.ASN) int64 {
+		return int64(cur)*int64(n+1) + int64(prev) + 1
+	}
+	var walk func(cur, prev topology.ASN) Status
+	walk = func(cur, prev topology.ASN) Status {
+		if cur == dest {
+			return Delivered
+		}
+		k := key(cur, prev)
+		if s := state[k]; s >= doneBase {
+			return Status(s - doneBase)
+		} else if s == stVisiting {
+			return Loop
+		}
+		state[k] = stVisiting
+		var st Status
+		nh, ok := nextHop(cur, prev)
+		switch {
+		case !ok:
+			st = Blackhole
+		case nh == cur:
+			st = Delivered
+		default:
+			st = walk(nh, cur)
+		}
+		state[k] = doneBase + uint8(st)
+		return st
+	}
+	out := make([]Status, n)
+	for v := 0; v < n; v++ {
+		out[v] = walk(topology.ASN(v), -1)
+	}
+	return out
+}
+
+// RBGPState is the per-AS view the R-BGP walker needs.
+type RBGPState interface {
+	// Primary returns the AS's primary (decision process) next hop; ok is
+	// false when there is none usable. The AS itself means destination.
+	Primary(as topology.ASN) (topology.ASN, bool)
+	// Deflect returns the failover AS path a packet deflected at `as`
+	// (arriving from prev, -1 if locally sourced) would be pinned to, or
+	// nil when no failover is available. The path runs from the first
+	// next hop to the destination.
+	Deflect(as, prev topology.ASN) []topology.ASN
+	// LinkUp reports link liveness, used to walk pinned failover paths.
+	LinkUp(a, b topology.ASN) bool
+}
+
+// ClassifyRBGP walks R-BGP's data plane. Forwarding is hop-by-hop along
+// primary routes until a packet would be dropped or bounced back; then it
+// is deflected onto the local failover path and pinned to it (R-BGP
+// forwards deflected packets along the advertised failover path, which
+// also prevents deflection loops). A pinned packet is delivered iff every
+// link of the failover path is alive — with RCI, stale failover paths
+// crossing failed links have been purged, so deflection almost always
+// succeeds; without RCI the packet can be pinned onto a dead path.
+func ClassifyRBGP(n int, dest topology.ASN, st RBGPState) []Status {
+	state := make(map[int64]uint8)
+	key := func(cur, prev topology.ASN) int64 {
+		return int64(cur)*int64(n+1) + int64(prev) + 1
+	}
+	var walk func(cur, prev topology.ASN) Status
+	walk = func(cur, prev topology.ASN) Status {
+		if cur == dest {
+			return Delivered
+		}
+		k := key(cur, prev)
+		if s := state[k]; s >= doneBase {
+			return Status(s - doneBase)
+		} else if s == stVisiting {
+			return Loop
+		}
+		state[k] = stVisiting
+		var st2 Status
+		nh, ok := st.Primary(cur)
+		switch {
+		case ok && nh == cur:
+			st2 = Delivered
+		case ok && nh != prev:
+			st2 = walk(nh, cur)
+		default:
+			st2 = walkPinned(cur, st.Deflect(cur, prev), st)
+		}
+		state[k] = doneBase + uint8(st2)
+		return st2
+	}
+	out := make([]Status, n)
+	for v := 0; v < n; v++ {
+		out[v] = walk(topology.ASN(v), -1)
+	}
+	return out
+}
+
+// walkPinned follows a failover AS path hop by hop, checking link
+// liveness only: the packet is pinned to the path.
+func walkPinned(from topology.ASN, path []topology.ASN, st RBGPState) Status {
+	if len(path) == 0 {
+		return Blackhole
+	}
+	cur := from
+	for _, next := range path {
+		if !st.LinkUp(cur, next) {
+			return Blackhole
+		}
+		cur = next
+	}
+	return Delivered
+}
+
+// StampState is the per-AS view the STAMP walker needs.
+type StampState interface {
+	// NextHop returns the forwarding neighbor for color c (ok false when
+	// that process has no usable route; the AS itself when it is the
+	// destination origin).
+	NextHop(as topology.ASN, c bgp.Color) (topology.ASN, bool)
+	// Unstable reports whether color c's process at as is flagged
+	// unstable per the ET mechanism.
+	Unstable(as topology.ASN, c bgp.Color) bool
+	// Preferred returns the color an AS stamps on packets it originates.
+	Preferred(as topology.ASN) bgp.Color
+}
+
+// ClassifyStamp walks STAMP's color-aware data plane. A packet carries a
+// color and may switch to the other color at most once (§5.1): it
+// switches when the current color has no usable route, or when the
+// current color is unstable and the other color has a stable route.
+func ClassifyStamp(n int, dest topology.ASN, st StampState) []Status {
+	// Flattened state: ((v*2)+color)*2 + switched.
+	state := make([]uint8, n*4)
+	idx := func(v topology.ASN, c bgp.Color, switched bool) int {
+		i := int(v)*4 + int(c)*2
+		if switched {
+			i++
+		}
+		return i
+	}
+
+	var walk func(cur topology.ASN, c bgp.Color, switched bool) Status
+	walk = func(cur topology.ASN, c bgp.Color, switched bool) Status {
+		if cur == dest {
+			return Delivered
+		}
+		k := idx(cur, c, switched)
+		if s := state[k]; s >= doneBase {
+			return Status(s - doneBase)
+		} else if s == stVisiting {
+			return Loop
+		}
+		state[k] = stVisiting
+
+		nh, ok := st.NextHop(cur, c)
+		other := c.Other()
+		onh, ook := st.NextHop(cur, other)
+		var out Status
+		switch {
+		case ok && (switched || !st.Unstable(cur, c) || !ook || st.Unstable(cur, other)):
+			// Keep the current color: it works and either looks stable,
+			// or no better option exists ("either process that still has
+			// a route can be used" when both saw ET=0).
+			if nh == cur {
+				out = Delivered
+			} else {
+				out = walk(nh, c, switched)
+			}
+		case !switched && ook:
+			// Switch once to the other color.
+			if onh == cur {
+				out = Delivered
+			} else {
+				out = walk(onh, other, true)
+			}
+		case ok:
+			if nh == cur {
+				out = Delivered
+			} else {
+				out = walk(nh, c, switched)
+			}
+		default:
+			out = Blackhole
+		}
+
+		state[k] = doneBase + uint8(out)
+		return out
+	}
+
+	out := make([]Status, n)
+	for v := 0; v < n; v++ {
+		out[v] = walk(topology.ASN(v), st.Preferred(topology.ASN(v)), false)
+	}
+	return out
+}
+
+// Affected merges a classification into an accumulator of ASes that have
+// experienced any transient problem, returning the number newly marked.
+func Affected(acc []bool, statuses []Status) int {
+	marked := 0
+	for i, s := range statuses {
+		if s != Delivered && !acc[i] {
+			acc[i] = true
+			marked++
+		}
+	}
+	return marked
+}
+
+// CountNot returns how many entries differ from want.
+func CountNot(statuses []Status, want Status) int {
+	c := 0
+	for _, s := range statuses {
+		if s != want {
+			c++
+		}
+	}
+	return c
+}

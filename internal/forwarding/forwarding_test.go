@@ -1,0 +1,257 @@
+package forwarding
+
+import (
+	"testing"
+
+	"stamp/internal/bgp"
+	"stamp/internal/topology"
+)
+
+func TestClassifySingleDelivery(t *testing.T) {
+	// 0 -> 1 -> 2 (dest).
+	next := map[topology.ASN]topology.ASN{0: 1, 1: 2}
+	st := ClassifySingle(3, 2, func(v topology.ASN) (topology.ASN, bool) {
+		nh, ok := next[v]
+		return nh, ok
+	})
+	for v, s := range st {
+		if s != Delivered {
+			t.Errorf("status[%d] = %v, want delivered", v, s)
+		}
+	}
+}
+
+func TestClassifySingleLoop(t *testing.T) {
+	// 0 -> 1 -> 0 loop; 2 feeds into the loop; dest 3 isolated.
+	next := map[topology.ASN]topology.ASN{0: 1, 1: 0, 2: 0}
+	st := ClassifySingle(4, 3, func(v topology.ASN) (topology.ASN, bool) {
+		nh, ok := next[v]
+		return nh, ok
+	})
+	for _, v := range []topology.ASN{0, 1, 2} {
+		if st[v] != Loop {
+			t.Errorf("status[%d] = %v, want loop", v, st[v])
+		}
+	}
+	if st[3] != Delivered {
+		t.Errorf("dest status = %v, want delivered", st[3])
+	}
+}
+
+func TestClassifySingleBlackhole(t *testing.T) {
+	next := map[topology.ASN]topology.ASN{0: 1} // 1 has no route
+	st := ClassifySingle(3, 2, func(v topology.ASN) (topology.ASN, bool) {
+		nh, ok := next[v]
+		return nh, ok
+	})
+	if st[0] != Blackhole || st[1] != Blackhole {
+		t.Errorf("statuses = %v, want blackholes at 0 and 1", st)
+	}
+}
+
+func TestClassifySingleSelfDelivery(t *testing.T) {
+	// An AS returning itself is treated as local delivery (origin).
+	st := ClassifySingle(2, 1, func(v topology.ASN) (topology.ASN, bool) {
+		if v == 0 {
+			return 0, true
+		}
+		return 0, false
+	})
+	if st[0] != Delivered {
+		t.Errorf("status[0] = %v, want delivered (self)", st[0])
+	}
+}
+
+// rbgpFake implements RBGPState from maps.
+type rbgpFake struct {
+	primary map[topology.ASN]topology.ASN
+	deflect map[[2]topology.ASN][]topology.ASN
+	dead    map[[2]topology.ASN]bool
+}
+
+func (f rbgpFake) Primary(as topology.ASN) (topology.ASN, bool) {
+	nh, ok := f.primary[as]
+	return nh, ok
+}
+func (f rbgpFake) Deflect(as, prev topology.ASN) []topology.ASN {
+	return f.deflect[[2]topology.ASN{as, prev}]
+}
+func (f rbgpFake) LinkUp(a, b topology.ASN) bool {
+	return !f.dead[[2]topology.ASN{a, b}] && !f.dead[[2]topology.ASN{b, a}]
+}
+
+func TestClassifyRBGPDeflection(t *testing.T) {
+	// 0 -> 1, 1's primary is dead-ended; 1 deflects onto path [2, 3].
+	f := rbgpFake{
+		primary: map[topology.ASN]topology.ASN{0: 1},
+		deflect: map[[2]topology.ASN][]topology.ASN{
+			{1, 0}: {2, 3},
+		},
+	}
+	st := ClassifyRBGP(4, 3, f)
+	if st[0] != Delivered {
+		t.Errorf("status[0] = %v, want delivered via deflection", st[0])
+	}
+	if st[2] != Blackhole { // 2 has no primary and no deflection
+		t.Errorf("status[2] = %v, want blackhole", st[2])
+	}
+}
+
+func TestClassifyRBGPPinnedPathDies(t *testing.T) {
+	// 1 deflects onto [2, 3] but link 2-3 is down: pinned packet dies.
+	f := rbgpFake{
+		primary: map[topology.ASN]topology.ASN{0: 1},
+		deflect: map[[2]topology.ASN][]topology.ASN{
+			{1, 0}: {2, 3},
+		},
+		dead: map[[2]topology.ASN]bool{{2, 3}: true},
+	}
+	st := ClassifyRBGP(4, 3, f)
+	if st[0] != Blackhole {
+		t.Errorf("status[0] = %v, want blackhole on dead pinned path", st[0])
+	}
+}
+
+func TestClassifyRBGPBounceTriggersDeflect(t *testing.T) {
+	// 0 and 1 point at each other (mutual staleness). 1 deflects packets
+	// from 0 onto [2, 3]; 0 deflects packets from 1 the same way.
+	f := rbgpFake{
+		primary: map[topology.ASN]topology.ASN{0: 1, 1: 0},
+		deflect: map[[2]topology.ASN][]topology.ASN{
+			{1, 0}: {2, 3},
+			{0, 1}: {2, 3},
+		},
+	}
+	st := ClassifyRBGP(4, 3, f)
+	if st[0] != Delivered || st[1] != Delivered {
+		t.Errorf("statuses = %v, want mutual bounce resolved by deflection", st)
+	}
+}
+
+// stampFake implements StampState from maps.
+type stampFake struct {
+	next     map[topology.ASN]map[bgp.Color]topology.ASN
+	unstable map[topology.ASN]map[bgp.Color]bool
+	pref     map[topology.ASN]bgp.Color
+}
+
+func (f stampFake) NextHop(as topology.ASN, c bgp.Color) (topology.ASN, bool) {
+	nh, ok := f.next[as][c]
+	return nh, ok
+}
+func (f stampFake) Unstable(as topology.ASN, c bgp.Color) bool { return f.unstable[as][c] }
+func (f stampFake) Preferred(as topology.ASN) bgp.Color {
+	if c, ok := f.pref[as]; ok {
+		return c
+	}
+	return bgp.ColorRed
+}
+
+func TestClassifyStampSwitchOnce(t *testing.T) {
+	// Red plane: 0 -> 1, but 1's red is gone; 1's blue -> 2 (dest).
+	f := stampFake{
+		next: map[topology.ASN]map[bgp.Color]topology.ASN{
+			0: {bgp.ColorRed: 1},
+			1: {bgp.ColorBlue: 2},
+		},
+		unstable: map[topology.ASN]map[bgp.Color]bool{},
+	}
+	st := ClassifyStamp(3, 2, f)
+	if st[0] != Delivered {
+		t.Errorf("status[0] = %v, want delivered via color switch", st[0])
+	}
+}
+
+func TestClassifyStampSecondSwitchForbidden(t *testing.T) {
+	// 0 red -> 1; 1 has only blue -> 2; 2 has only red -> 3... a packet
+	// switching at 1 (red->blue) cannot switch back at 2.
+	f := stampFake{
+		next: map[topology.ASN]map[bgp.Color]topology.ASN{
+			0: {bgp.ColorRed: 1},
+			1: {bgp.ColorBlue: 2},
+			2: {bgp.ColorRed: 3},
+		},
+		unstable: map[topology.ASN]map[bgp.Color]bool{},
+	}
+	st := ClassifyStamp(4, 3, f)
+	if st[0] != Blackhole {
+		t.Errorf("status[0] = %v, want blackhole (second switch forbidden)", st[0])
+	}
+}
+
+func TestClassifyStampUnstableSwitch(t *testing.T) {
+	// 0's red is unstable and would loop; blue delivers. The packet must
+	// switch at 0 because red is flagged.
+	f := stampFake{
+		next: map[topology.ASN]map[bgp.Color]topology.ASN{
+			0: {bgp.ColorRed: 1, bgp.ColorBlue: 2},
+			1: {bgp.ColorRed: 0},
+		},
+		unstable: map[topology.ASN]map[bgp.Color]bool{
+			0: {bgp.ColorRed: true},
+		},
+	}
+	st := ClassifyStamp(3, 2, f)
+	if st[0] != Delivered {
+		t.Errorf("status[0] = %v, want delivered via unstable-triggered switch", st[0])
+	}
+}
+
+func TestClassifyStampBothUnstableKeepsRoute(t *testing.T) {
+	// Both colors unstable but red has a route: "either process that
+	// still has a route can be used" — no pointless switch.
+	f := stampFake{
+		next: map[topology.ASN]map[bgp.Color]topology.ASN{
+			0: {bgp.ColorRed: 1, bgp.ColorBlue: 1},
+			1: {bgp.ColorRed: 2, bgp.ColorBlue: 2},
+		},
+		unstable: map[topology.ASN]map[bgp.Color]bool{
+			0: {bgp.ColorRed: true, bgp.ColorBlue: true},
+		},
+	}
+	st := ClassifyStamp(3, 2, f)
+	if st[0] != Delivered {
+		t.Errorf("status[0] = %v, want delivered on unstable-but-present route", st[0])
+	}
+}
+
+func TestClassifyStampLoopDetected(t *testing.T) {
+	// Red loop 0 <-> 1 with no blue anywhere.
+	f := stampFake{
+		next: map[topology.ASN]map[bgp.Color]topology.ASN{
+			0: {bgp.ColorRed: 1},
+			1: {bgp.ColorRed: 0},
+		},
+		unstable: map[topology.ASN]map[bgp.Color]bool{},
+	}
+	st := ClassifyStamp(3, 2, f)
+	if st[0] != Loop || st[1] != Loop {
+		t.Errorf("statuses = %v, want loops", st)
+	}
+}
+
+func TestAffectedAccumulates(t *testing.T) {
+	acc := make([]bool, 3)
+	n1 := Affected(acc, []Status{Delivered, Loop, Delivered})
+	if n1 != 1 || !acc[1] {
+		t.Errorf("first merge: n=%d acc=%v", n1, acc)
+	}
+	n2 := Affected(acc, []Status{Blackhole, Loop, Delivered})
+	if n2 != 1 || !acc[0] {
+		t.Errorf("second merge: n=%d acc=%v", n2, acc)
+	}
+}
+
+func TestCountNot(t *testing.T) {
+	if got := CountNot([]Status{Delivered, Loop, Blackhole}, Delivered); got != 2 {
+		t.Errorf("CountNot = %d, want 2", got)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{Delivered: "delivered", Loop: "loop", Blackhole: "blackhole"} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}

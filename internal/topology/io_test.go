@@ -1,0 +1,80 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestASRelRoundTrip(t *testing.T) {
+	g, err := GenerateDefault(300, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteASRel(&buf, g); err != nil {
+		t.Fatalf("WriteASRel: %v", err)
+	}
+	g2, ids, err := ReadASRel(&buf)
+	if err != nil {
+		t.Fatalf("ReadASRel: %v", err)
+	}
+	if g2.Len() != g.Len() {
+		t.Fatalf("round trip changed AS count: %d -> %d", g.Len(), g2.Len())
+	}
+	// Relationships must survive modulo renumbering.
+	for _, l := range g.Links() {
+		a, b := ids[int64(l.A)], ids[int64(l.B)]
+		want := g.Rel(l.A, l.B)
+		if got := g2.Rel(a, b); got != want {
+			t.Fatalf("link %v: rel %v -> %v after round trip", l, want, got)
+		}
+	}
+}
+
+func TestReadASRelFormat(t *testing.T) {
+	in := `# comment line
+174|3356|0
+3356|65001|-1
+174|65002|-1
+`
+	g, ids, err := ReadASRel(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadASRel: %v", err)
+	}
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", g.Len())
+	}
+	// 174 and 3356 peer; 3356 provider of 65001.
+	if g.Rel(ids[174], ids[3356]) != RelPeer {
+		t.Error("peer relationship lost")
+	}
+	if g.Rel(ids[65001], ids[3356]) != RelProvider {
+		t.Error("provider relationship lost")
+	}
+}
+
+func TestReadASRelErrors(t *testing.T) {
+	cases := []string{
+		"1|2",            // too few fields
+		"x|2|-1",         // bad ASN
+		"1|y|0",          // bad ASN
+		"1|2|7",          // bad rel
+		"1|2|-1\n2|1|-1", // provider cycle
+	}
+	for _, in := range cases {
+		if _, _, err := ReadASRel(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestReadASRelEmpty(t *testing.T) {
+	g, _, err := ReadASRel(strings.NewReader("# nothing\n"))
+	if err != nil {
+		t.Fatalf("empty file rejected: %v", err)
+	}
+	if g.Len() != 0 {
+		t.Errorf("Len = %d, want 0", g.Len())
+	}
+}

@@ -1,0 +1,119 @@
+package topology
+
+import "sort"
+
+// WithoutLinks returns a copy of g with the given undirected links
+// removed. Unknown links are ignored. The copy is re-validated by
+// construction (removing links cannot create provider cycles).
+func (g *Graph) WithoutLinks(links [][2]ASN) *Graph {
+	dead := make(map[[2]ASN]bool, len(links))
+	for _, l := range links {
+		a, b := l[0], l[1]
+		if a > b {
+			a, b = b, a
+		}
+		dead[[2]ASN{a, b}] = true
+	}
+	isDead := func(a, b ASN) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return dead[[2]ASN{a, b}]
+	}
+	c := NewGraph(g.n)
+	for a := 0; a < g.n; a++ {
+		for _, p := range g.providers[a] {
+			if !isDead(ASN(a), p) {
+				c.providers[a] = append(c.providers[a], p)
+				c.customers[p] = append(c.customers[p], ASN(a))
+			}
+		}
+		for _, p := range g.peers[a] {
+			if ASN(a) < p && !isDead(ASN(a), p) {
+				c.peers[a] = append(c.peers[a], p)
+				c.peers[p] = append(c.peers[p], ASN(a))
+			}
+		}
+	}
+	return c
+}
+
+// Stats summarizes structural properties of a topology.
+type Stats struct {
+	ASes         int
+	Links        int
+	PeerLinks    int
+	Tier1s       int
+	MaxTier      int
+	Multihomed   int
+	MeanDegree   float64
+	MaxDegree    int
+	DegreeP90    int
+	StubASes     int // ASes with no customers
+	MeanProvider float64
+}
+
+// ComputeStats gathers Stats for g.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{ASes: g.Len(), Links: g.EdgeCount()}
+	tiers := g.Tiers()
+	degrees := make([]int, g.Len())
+	totalDeg, totalProv := 0, 0
+	for a := 0; a < g.Len(); a++ {
+		v := ASN(a)
+		d := g.Degree(v)
+		degrees[a] = d
+		totalDeg += d
+		totalProv += len(g.Providers(v))
+		s.PeerLinks += len(g.Peers(v))
+		if g.IsTier1(v) {
+			s.Tier1s++
+		}
+		if tiers[a] > s.MaxTier {
+			s.MaxTier = tiers[a]
+		}
+		if g.IsMultihomed(v) {
+			s.Multihomed++
+		}
+		if len(g.Customers(v)) == 0 {
+			s.StubASes++
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	s.PeerLinks /= 2
+	if g.Len() > 0 {
+		s.MeanDegree = float64(totalDeg) / float64(g.Len())
+		s.MeanProvider = float64(totalProv) / float64(g.Len()-s.Tier1s+1)
+	}
+	sort.Ints(degrees)
+	if len(degrees) > 0 {
+		s.DegreeP90 = degrees[int(0.9*float64(len(degrees)-1))]
+	}
+	return s
+}
+
+// CustomerCone returns the set of ASes in v's customer cone (v itself
+// included): everyone reachable by repeatedly descending provider-to-
+// customer links. Cone sizes drive which ASes count as "large" in
+// Internet economics.
+func CustomerCone(g *Graph, v ASN) []ASN {
+	seen := make(map[ASN]bool)
+	var out []ASN
+	stack := []ASN{v}
+	seen[v] = true
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, x)
+		for _, c := range g.Customers(x) {
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,222 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	b, err := Marshal(m)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	out, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	return out
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	in := NewOpen(65001, 90, 0x01020304, 1)
+	out := roundTrip(t, in).(*Open)
+	if *out != *in {
+		t.Errorf("round trip: %+v -> %+v", in, out)
+	}
+}
+
+func TestKeepaliveRoundTrip(t *testing.T) {
+	if _, ok := roundTrip(t, &Keepalive{}).(*Keepalive); !ok {
+		t.Error("keepalive type lost")
+	}
+}
+
+func TestNotificationRoundTrip(t *testing.T) {
+	in := &Notification{Code: 6, Subcode: 2, Data: []byte("bye")}
+	out := roundTrip(t, in).(*Notification)
+	if out.Code != 6 || out.Subcode != 2 || string(out.Data) != "bye" {
+		t.Errorf("round trip: %+v", out)
+	}
+	if out.Error() == "" {
+		t.Error("empty Error()")
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	in := &Update{
+		Withdrawn: []Prefix{MustPrefix("10.0.0.0/8")},
+		Attrs: Attrs{
+			HasOrigin: true,
+			Origin:    0,
+			ASPath:    []uint16{65001, 65002, 65003},
+			NextHop:   netip.MustParseAddr("192.0.2.1"),
+			Lock:      true,
+			HasET:     true,
+			ET:        0,
+			HasColor:  true,
+			Color:     1,
+		},
+		NLRI: []Prefix{MustPrefix("198.51.100.0/24"), MustPrefix("203.0.113.128/25")},
+	}
+	out := roundTrip(t, in).(*Update)
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+func TestUpdateEmpty(t *testing.T) {
+	out := roundTrip(t, &Update{}).(*Update)
+	if len(out.Withdrawn) != 0 || len(out.NLRI) != 0 {
+		t.Errorf("empty update grew content: %+v", out)
+	}
+}
+
+func TestUnknownAttrPreserved(t *testing.T) {
+	in := &Update{Attrs: Attrs{
+		Unknown: []RawAttr{{Flags: FlagOptional | FlagTransitive, Type: 42, Value: []byte{1, 2, 3}}},
+	}}
+	out := roundTrip(t, in).(*Update)
+	if len(out.Attrs.Unknown) != 1 || out.Attrs.Unknown[0].Type != 42 {
+		t.Errorf("unknown attribute lost: %+v", out.Attrs)
+	}
+	if !bytes.Equal(out.Attrs.Unknown[0].Value, []byte{1, 2, 3}) {
+		t.Error("unknown attribute value corrupted")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	good, err := Marshal(&Keepalive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"short":       good[:10],
+		"bad marker":  append([]byte{0}, good[1:]...),
+		"trailing":    append(append([]byte{}, good...), 0xFF),
+		"bad type":    func() []byte { b := append([]byte{}, good...); b[MarkerLen+2] = 99; return b }(),
+		"bad length":  func() []byte { b := append([]byte{}, good...); b[MarkerLen] = 0xFF; b[MarkerLen+1] = 0xFF; return b }(),
+		"zero length": func() []byte { b := append([]byte{}, good...); b[MarkerLen] = 0; b[MarkerLen+1] = 0; return b }(),
+	}
+	for name, b := range cases {
+		if _, err := Unmarshal(b); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMarshalRejectsNonIPv4(t *testing.T) {
+	u := &Update{NLRI: []Prefix{{Addr: netip.MustParseAddr("2001:db8::1"), Bits: 64}}}
+	if _, err := Marshal(u); err == nil {
+		t.Error("IPv6 prefix accepted by IPv4-only codec")
+	}
+	u2 := &Update{Attrs: Attrs{NextHop: netip.MustParseAddr("2001:db8::1")}}
+	if _, err := Marshal(u2); err == nil {
+		t.Error("IPv6 next hop accepted")
+	}
+}
+
+func TestPrefixString(t *testing.T) {
+	p := MustPrefix("10.1.0.0/16")
+	if p.String() != "10.1.0.0/16" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+// TestUpdateRoundTripProperty fuzzes updates through the codec.
+func TestUpdateRoundTripProperty(t *testing.T) {
+	f := func(aspath []uint16, nlriBits uint8, withdrawnOct [4]byte, lock bool, et, color byte, hasET, hasColor bool) bool {
+		if len(aspath) > 200 {
+			aspath = aspath[:200]
+		}
+		bits := int(nlriBits % 33)
+		var a4 [4]byte = withdrawnOct
+		// Zero host bits so the prefix survives truncation intact.
+		full := (bits + 7) / 8
+		for i := full; i < 4; i++ {
+			a4[i] = 0
+		}
+		if bits%8 != 0 && full > 0 {
+			a4[full-1] &= byte(0xFF << (8 - bits%8))
+		}
+		in := &Update{
+			Withdrawn: []Prefix{{Addr: netip.AddrFrom4(a4), Bits: bits}},
+			Attrs: Attrs{
+				ASPath: aspath,
+				Lock:   lock,
+				HasET:  hasET,
+			},
+		}
+		if hasET {
+			in.Attrs.ET = et % 2
+		}
+		if hasColor {
+			in.Attrs.HasColor = true
+			in.Attrs.Color = color % 2
+		}
+		b, err := Marshal(in)
+		if err != nil {
+			return false
+		}
+		out, err := Unmarshal(b)
+		if err != nil {
+			return false
+		}
+		u := out.(*Update)
+		if len(aspath) == 0 && u.Attrs.ASPath == nil && in.Attrs.ASPath != nil {
+			in.Attrs.ASPath = nil // empty slice folds to nil on the wire
+		}
+		return reflect.DeepEqual(in, u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOpenRoundTripProperty fuzzes session parameters.
+func TestOpenRoundTripProperty(t *testing.T) {
+	f := func(as, hold uint16, id uint32, color bool) bool {
+		c := byte(0)
+		if color {
+			c = 1
+		}
+		in := NewOpen(as, hold, id, c)
+		b, err := Marshal(in)
+		if err != nil {
+			return false
+		}
+		out, err := Unmarshal(b)
+		if err != nil {
+			return false
+		}
+		o, ok := out.(*Open)
+		return ok && *o == *in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnmarshalNeverPanics feeds random garbage through the parser.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 3000; i++ {
+		n := rng.Intn(80)
+		b := make([]byte, n)
+		rng.Read(b)
+		if rng.Intn(2) == 0 && n >= HeaderLen {
+			// Plausible header to reach body parsing.
+			for j := 0; j < MarkerLen; j++ {
+				b[j] = 0xFF
+			}
+			b[MarkerLen] = byte(n >> 8)
+			b[MarkerLen+1] = byte(n)
+			b[MarkerLen+2] = byte(1 + rng.Intn(4))
+		}
+		_, _ = Unmarshal(b) // must not panic
+	}
+}
