@@ -155,7 +155,7 @@ func BenchmarkAblationLock(b *testing.B) {
 		}
 	}
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunLockAblation(g, dest, benchSeed)
+		res, err := experiments.RunLockAblation(g, dest, benchSeed, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -169,7 +169,7 @@ func BenchmarkAblationLock(b *testing.B) {
 func BenchmarkAblationMRAI(b *testing.B) {
 	g := benchGraph(b)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunMRAIAblation(g, 5, benchSeed)
+		res, err := experiments.RunMRAIAblation(g, 5, benchSeed, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

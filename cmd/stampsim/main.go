@@ -1,65 +1,165 @@
 // Command stampsim regenerates the paper's experiments on a synthetic or
-// loaded AS topology.
+// loaded AS topology, sharding trials across a worker pool. Results are
+// bit-identical for any -workers value; see internal/runner.
 //
 // Usage:
 //
-//	stampsim -exp figure2 -n 3000 -trials 30
+//	stampsim -exp figure2 -n 3000 -trials 30 -workers 8
 //	stampsim -exp all -n 1000 -trials 10
 //	stampsim -exp figure1 -topo asrel.txt
+//	stampsim -exp transient -scenario two-links-shared -trials 50 -json
+//	stampsim -exp sweep -topo-seeds 1,2,3 -trials 20 -progress
 //
 // Experiments: figure1, figure1-intelligent, figure2, figure3a, figure3b,
-// node-failure, partial, overhead, convergence, ablation-lock,
-// ablation-mrai, all.
+// node-failure, transient, sweep, partial, overhead, convergence,
+// ablation-lock, ablation-mrai, all.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"stamp/internal/disjoint"
 	"stamp/internal/experiments"
+	"stamp/internal/runner"
 	"stamp/internal/topology"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run")
-		n      = flag.Int("n", 1000, "topology size (ASes) when generating")
-		seed   = flag.Int64("seed", 1, "random seed")
-		trials = flag.Int("trials", 10, "failure trials per scenario")
-		topo   = flag.String("topo", "", "CAIDA AS-rel file to load instead of generating")
+		exp       = flag.String("exp", "all", "experiment to run")
+		n         = flag.Int("n", 1000, "topology size (ASes) when generating")
+		seed      = flag.Int64("seed", 1, "master random seed")
+		trials    = flag.Int("trials", 10, "failure trials per scenario")
+		topo      = flag.String("topo", "", "CAIDA AS-rel file to load instead of generating")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
+		scenario  = flag.String("scenario", "", "failure scenario for -exp transient/sweep: single-link, two-links-apart, two-links-shared, node-failure")
+		jsonOut   = flag.Bool("json", false, "emit results as JSON on stdout")
+		progress  = flag.Bool("progress", false, "report trial progress on stderr")
+		topoSeeds = flag.String("topo-seeds", "1,2,3", "comma-separated topology seeds for -exp sweep")
 	)
 	flag.Parse()
 
-	g, err := loadTopology(*topo, *n, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "stampsim:", err)
-		os.Exit(1)
+	out := &output{json: *jsonOut}
+	// The sweep builds its own topologies from -topo-seeds, so loading is
+	// deferred until an experiment actually needs the -topo/-n graph (and
+	// the banner describes only a topology that was really used).
+	var g *topology.Graph
+	getG := func() (*topology.Graph, error) {
+		if g != nil {
+			return g, nil
+		}
+		var err error
+		if g, err = loadTopology(*topo, *n, *seed); err != nil {
+			return nil, err
+		}
+		if !*jsonOut {
+			fmt.Printf("topology: %d ASes, %d links, %d tier-1s\n\n", g.Len(), g.EdgeCount(), len(g.Tier1s()))
+		}
+		return g, nil
 	}
-	fmt.Printf("topology: %d ASes, %d links, %d tier-1s\n\n", g.Len(), g.EdgeCount(), len(g.Tier1s()))
+
+	prog := func(done, total int) {}
+	if *progress {
+		// The runner counts shards (trials × protocols for transient
+		// experiments), not -trials.
+		prog = func(done, total int) { fmt.Fprintf(os.Stderr, "\r%d/%d shards", done, total) }
+	}
+	progDone := func() {
+		if *progress {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+
+	transientOpts := func(g *topology.Graph, sc experiments.Scenario, protos []experiments.Protocol) experiments.TransientOpts {
+		return experiments.TransientOpts{
+			G: g, Trials: *trials, Seed: *seed, Scenario: sc,
+			Protocols: protos, Workers: *workers, Progress: prog,
+		}
+	}
+	transient := func(name string, sc experiments.Scenario) error {
+		g, err := getG()
+		if err != nil {
+			return err
+		}
+		res, err := experiments.RunTransient(transientOpts(g, sc, nil))
+		progDone()
+		if err != nil {
+			return err
+		}
+		out.add(name, res)
+		return nil
+	}
 
 	run := func(name string) error {
+		// Every case except sweep runs on the -topo/-n graph; sweep is
+		// handled before the graph is touched.
 		switch name {
-		case "figure1":
-			experiments.RunFigure1(g, disjoint.DefaultPhiOpts()).Print(os.Stdout)
-		case "figure1-intelligent":
-			experiments.RunFigure1Intelligent(g, disjoint.DefaultPhiOpts()).Print(os.Stdout)
-		case "figure2":
-			return transient(g, experiments.ScenarioSingleLink, *trials, *seed)
-		case "figure3a":
-			return transient(g, experiments.ScenarioTwoLinksApart, *trials, *seed)
-		case "figure3b":
-			return transient(g, experiments.ScenarioTwoLinksShared, *trials, *seed)
-		case "node-failure":
-			return transient(g, experiments.ScenarioNodeFailure, *trials, *seed)
-		case "partial":
-			experiments.RunPartialDeployment(g).Print(os.Stdout)
-		case "overhead":
-			res, err := experiments.RunTransient(experiments.TransientOpts{
-				G: g, Trials: *trials, Seed: *seed, Scenario: experiments.ScenarioSingleLink,
-				Protocols: []experiments.Protocol{experiments.ProtoBGP, experiments.ProtoSTAMP},
+		case "sweep":
+			if *topo != "" {
+				return fmt.Errorf("-exp sweep generates its own topologies from -n and -topo-seeds; -topo is not supported")
+			}
+			seeds, err := parseSeeds(*topoSeeds)
+			if err != nil {
+				return err
+			}
+			var scenarios []experiments.Scenario
+			if *scenario != "" {
+				sc, err := parseScenario(*scenario)
+				if err != nil {
+					return err
+				}
+				scenarios = []experiments.Scenario{sc}
+			}
+			res, err := experiments.RunSweep(experiments.SweepOpts{
+				N: *n, TopoSeeds: seeds, Scenarios: scenarios,
+				Trials: *trials, Seed: *seed, Workers: *workers, Progress: prog,
 			})
+			progDone()
+			if err != nil {
+				return err
+			}
+			out.add(name, res)
+			return nil
+		}
+		g, err := getG()
+		if err != nil {
+			return err
+		}
+		switch name {
+		case "figure1", "figure1-intelligent":
+			res, err := experiments.RunFigure1With(g, disjoint.DefaultPhiOpts(),
+				name == "figure1-intelligent", runner.Options{Workers: *workers, Progress: prog})
+			progDone()
+			if err != nil {
+				return err
+			}
+			out.add(name, res)
+		case "figure2":
+			return transient(name, experiments.ScenarioSingleLink)
+		case "figure3a":
+			return transient(name, experiments.ScenarioTwoLinksApart)
+		case "figure3b":
+			return transient(name, experiments.ScenarioTwoLinksShared)
+		case "node-failure":
+			return transient(name, experiments.ScenarioNodeFailure)
+		case "transient":
+			sc, err := parseScenario(*scenario)
+			if err != nil {
+				return err
+			}
+			return transient(name, sc)
+		case "partial":
+			out.add(name, experiments.RunPartialDeployment(g))
+		case "overhead":
+			res, err := experiments.RunTransient(transientOpts(g, experiments.ScenarioSingleLink,
+				[]experiments.Protocol{experiments.ProtoBGP, experiments.ProtoSTAMP}))
+			progDone()
 			if err != nil {
 				return err
 			}
@@ -67,12 +167,11 @@ func main() {
 			if err != nil {
 				return err
 			}
-			o.Print(os.Stdout)
+			out.add(name, o)
 		case "convergence":
-			res, err := experiments.RunTransient(experiments.TransientOpts{
-				G: g, Trials: *trials, Seed: *seed, Scenario: experiments.ScenarioSingleLink,
-				Protocols: []experiments.Protocol{experiments.ProtoBGP, experiments.ProtoSTAMP},
-			})
+			res, err := experiments.RunTransient(transientOpts(g, experiments.ScenarioSingleLink,
+				[]experiments.Protocol{experiments.ProtoBGP, experiments.ProtoSTAMP}))
+			progDone()
 			if err != nil {
 				return err
 			}
@@ -80,20 +179,19 @@ func main() {
 			if err != nil {
 				return err
 			}
-			c.Print(os.Stdout)
+			out.add(name, c)
 		case "ablation-lock":
-			dest := firstMultihomed(g)
-			r, err := experiments.RunLockAblation(g, dest, *seed)
+			r, err := experiments.RunLockAblation(g, firstMultihomed(g), *seed, *workers)
 			if err != nil {
 				return err
 			}
-			r.Print(os.Stdout)
+			out.add(name, r)
 		case "ablation-mrai":
-			r, err := experiments.RunMRAIAblation(g, *trials, *seed)
+			r, err := experiments.RunMRAIAblation(g, *trials, *seed, *workers)
 			if err != nil {
 				return err
 			}
-			r.Print(os.Stdout)
+			out.add(name, r)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -110,22 +208,95 @@ func main() {
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {
-			fmt.Fprintln(os.Stderr, "stampsim:", err)
-			os.Exit(1)
+			// Emit whatever completed before failing, so long multi-
+			// experiment runs don't lose finished results.
+			if ferr := out.flush(); ferr != nil {
+				fmt.Fprintln(os.Stderr, "stampsim:", ferr)
+			}
+			fail(err)
 		}
-		fmt.Println()
+	}
+	if err := out.flush(); err != nil {
+		fail(err)
 	}
 }
 
-func transient(g *topology.Graph, sc experiments.Scenario, trials int, seed int64) error {
-	res, err := experiments.RunTransient(experiments.TransientOpts{
-		G: g, Trials: trials, Seed: seed, Scenario: sc,
-	})
-	if err != nil {
-		return err
+// output collects named results and renders them as text sections or one
+// JSON document.
+type output struct {
+	json    bool
+	results []namedResult
+}
+
+type namedResult struct {
+	Experiment string `json:"experiment"`
+	Result     any    `json:"result"`
+}
+
+// printer is what every experiment result implements for text output.
+type printer interface{ Print(w io.Writer) }
+
+// add records a result. In text mode it prints immediately, so a failure
+// in a later experiment never discards completed output; JSON mode
+// buffers until flush because the document is one array.
+func (o *output) add(name string, res any) {
+	if !o.json {
+		if p, ok := res.(printer); ok {
+			p.Print(os.Stdout)
+		} else {
+			fmt.Printf("%+v\n", res)
+		}
+		fmt.Println()
+		return
 	}
-	res.Print(os.Stdout)
-	return nil
+	o.results = append(o.results, namedResult{Experiment: name, Result: res})
+}
+
+func (o *output) flush() error {
+	if !o.json || len(o.results) == 0 {
+		return nil
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(o.results)
+}
+
+func parseScenario(s string) (experiments.Scenario, error) {
+	switch s {
+	case "single-link", "":
+		return experiments.ScenarioSingleLink, nil
+	case "two-links-apart":
+		return experiments.ScenarioTwoLinksApart, nil
+	case "two-links-shared":
+		return experiments.ScenarioTwoLinksShared, nil
+	case "node-failure":
+		return experiments.ScenarioNodeFailure, nil
+	}
+	return 0, fmt.Errorf("unknown scenario %q (want single-link, two-links-apart, two-links-shared, or node-failure)", s)
+}
+
+func parseSeeds(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad topo seed %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no topology seeds given")
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "stampsim:", err)
+	os.Exit(1)
 }
 
 func loadTopology(path string, n int, seed int64) (*topology.Graph, error) {

@@ -1,0 +1,3 @@
+module stamp
+
+go 1.24

@@ -13,6 +13,7 @@ package disjoint
 import (
 	"math/rand"
 
+	"stamp/internal/runner"
 	"stamp/internal/topology"
 )
 
@@ -170,39 +171,74 @@ func enumerateUphill(g *topology.Graph, v topology.ASN, f func([]topology.ASN)) 
 	rec(v)
 }
 
-// PhiAll computes Φ for every AS as destination: multi-homed ASes
-// directly, single-homed ones through their first multi-homed ancestor
-// (footnote 4), tier-1 and ancestor-less ASes as 1 (events above them are
-// uphill events, harmless per Lemma 3.2).
-func PhiAll(g *topology.Graph, opts PhiOpts) []float64 {
-	counts := UphillCounts(g)
-	rng := rand.New(rand.NewSource(opts.Seed))
+// Anchors maps every AS to the multi-homed AS whose Φ it inherits: itself
+// when multi-homed, its first multi-homed ancestor when single-homed
+// (footnote 4), and -1 for tier-1 and ancestor-less ASes, which score
+// Φ = 1 because all events above them are uphill events, harmless per
+// Lemma 3.2. The distinct anchors are returned in ascending order — the
+// enumerable, independently computable units behind PhiAll and the
+// sharded Figure 1 harness.
+func Anchors(g *topology.Graph) (anchorOf []topology.ASN, anchors []topology.ASN) {
 	n := g.Len()
-	phi := make([]float64, n)
-	cache := make(map[topology.ASN]float64)
-	phiOf := func(m topology.ASN) float64 {
-		if v, ok := cache[m]; ok {
-			return v
-		}
-		v := Phi(g, counts, m, opts, rng)
-		cache[m] = v
-		return v
-	}
+	anchorOf = make([]topology.ASN, n)
+	isAnchor := make([]bool, n)
 	for a := 0; a < n; a++ {
 		v := topology.ASN(a)
-		switch {
-		case g.IsMultihomed(v):
-			phi[a] = phiOf(v)
-		default:
-			m, ok := g.FirstMultihomedAncestor(v)
-			if !ok {
-				phi[a] = 1
+		m := v
+		if !g.IsMultihomed(v) {
+			var ok bool
+			if m, ok = g.FirstMultihomedAncestor(v); !ok {
+				anchorOf[a] = -1
 				continue
 			}
-			phi[a] = phiOf(m)
+		}
+		anchorOf[a] = m
+		isAnchor[m] = true
+	}
+	for a := 0; a < n; a++ {
+		if isAnchor[a] {
+			anchors = append(anchors, topology.ASN(a))
 		}
 	}
+	return anchorOf, anchors
+}
+
+// phiStream labels the per-anchor Φ sampling stream in seed derivation.
+const phiStream int64 = 101
+
+// AnchorSeed returns the RNG seed for estimating anchor m's Φ, derived
+// from PhiOpts.Seed. Every Φ entry point — PhiAll here, the sharded
+// Figure 1 harness in internal/experiments — must draw anchor m's
+// samples from this seed, so the same PhiOpts yield the same Φ values
+// regardless of entry point, evaluation order, or worker count.
+func AnchorSeed(opts PhiOpts, m topology.ASN) int64 {
+	return runner.DeriveSeed(opts.Seed, phiStream, int64(m))
+}
+
+// AssemblePhi expands per-anchor Φ values into the per-AS vector using an
+// Anchors mapping (ASes without an anchor get 1).
+func AssemblePhi(anchorOf []topology.ASN, phiOf map[topology.ASN]float64) []float64 {
+	phi := make([]float64, len(anchorOf))
+	for a, m := range anchorOf {
+		if m < 0 {
+			phi[a] = 1
+			continue
+		}
+		phi[a] = phiOf[m]
+	}
 	return phi
+}
+
+// PhiAll computes Φ for every AS as destination, per the Anchors mapping,
+// with each anchor sampled from its AnchorSeed.
+func PhiAll(g *topology.Graph, opts PhiOpts) []float64 {
+	counts := UphillCounts(g)
+	anchorOf, anchors := Anchors(g)
+	phiOf := make(map[topology.ASN]float64, len(anchors))
+	for _, m := range anchors {
+		phiOf[m] = Phi(g, counts, m, opts, rand.New(rand.NewSource(AnchorSeed(opts, m))))
+	}
+	return AssemblePhi(anchorOf, phiOf)
 }
 
 // PhiIntelligent estimates Φ for destination m when the origin selects its
@@ -255,32 +291,12 @@ func PhiIntelligent(g *topology.Graph, counts []float64, m topology.ASN, opts Ph
 // destination, mirroring PhiAll.
 func PhiAllIntelligent(g *topology.Graph, opts PhiOpts) []float64 {
 	counts := UphillCounts(g)
-	rng := rand.New(rand.NewSource(opts.Seed))
-	n := g.Len()
-	phi := make([]float64, n)
-	cache := make(map[topology.ASN]float64)
-	phiOf := func(m topology.ASN) float64 {
-		if v, ok := cache[m]; ok {
-			return v
-		}
-		v, _ := PhiIntelligent(g, counts, m, opts, rng)
-		cache[m] = v
-		return v
+	anchorOf, anchors := Anchors(g)
+	phiOf := make(map[topology.ASN]float64, len(anchors))
+	for _, m := range anchors {
+		phiOf[m], _ = PhiIntelligent(g, counts, m, opts, rand.New(rand.NewSource(AnchorSeed(opts, m))))
 	}
-	for a := 0; a < n; a++ {
-		v := topology.ASN(a)
-		if g.IsMultihomed(v) {
-			phi[a] = phiOf(v)
-			continue
-		}
-		m, ok := g.FirstMultihomedAncestor(v)
-		if !ok {
-			phi[a] = 1
-			continue
-		}
-		phi[a] = phiOf(m)
-	}
-	return phi
+	return AssemblePhi(anchorOf, phiOf)
 }
 
 // BestBlueProvider returns the intelligent locked-blue-provider choice for

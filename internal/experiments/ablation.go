@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"stamp/internal/runner"
 	"stamp/internal/sim"
 	"stamp/internal/topology"
 )
@@ -22,42 +23,63 @@ type LockAblationResult struct {
 	Dest                    topology.ASN
 }
 
+// lockArm is one arm of the lock ablation: blue/red coverage with the
+// mechanism on or off.
+type lockArm struct {
+	blue, red float64
+}
+
 // RunLockAblation converges STAMP twice on the same topology and
 // destination — once normally, once with the Lock mechanism disabled —
-// and reports blue-route coverage.
-func RunLockAblation(g *topology.Graph, dest topology.ASN, seed int64) (*LockAblationResult, error) {
-	res := &LockAblationResult{Dest: dest}
-	for _, disable := range []bool{false, true} {
-		in := buildInstance(ProtoSTAMP, g, sim.DefaultParams(), seed, dest, nil)
-		if disable {
-			for _, nd := range in.stampNodes {
-				nd.DisableLock = true
+// and reports blue-route coverage. The two arms are independent runner
+// trials sharded across workers (<= 0: one per CPU; 1 serializes the two
+// whole-topology instances, halving peak memory); both use the same
+// engine seed by construction (the ablation isolates the Lock rule, not
+// the timing).
+func RunLockAblation(g *topology.Graph, dest topology.ASN, seed int64, workers int) (*LockAblationResult, error) {
+	spec := runner.Spec[lockArm]{
+		Name:   "ablation-lock",
+		Trials: 2,
+		Seed:   seed,
+		Run: func(t runner.Trial) (lockArm, error) {
+			disable := t.Index == 1
+			in := buildInstance(ProtoSTAMP, g, sim.DefaultParams(), seed, dest, nil)
+			if disable {
+				for _, nd := range in.stampNodes {
+					nd.DisableLock = true
+				}
+				// Re-apply origination announcements under the new policy.
+				in.stampNodes[dest].WithdrawOrigin()
+				in.stampNodes[dest].Originate()
 			}
-			// Re-apply origination announcements under the new policy.
-			in.stampNodes[dest].WithdrawOrigin()
-			in.stampNodes[dest].Originate()
-		}
-		if _, err := in.e.Run(); err != nil {
-			return nil, err
-		}
-		blue, red := 0, 0
-		for a := 0; a < g.Len(); a++ {
-			if in.stampNodes[a].Blue.Best() != nil {
-				blue++
+			if _, err := in.e.Run(); err != nil {
+				return lockArm{}, err
 			}
-			if in.stampNodes[a].Red.Best() != nil {
-				red++
+			blue, red := 0, 0
+			for a := 0; a < g.Len(); a++ {
+				if in.stampNodes[a].Blue.Best() != nil {
+					blue++
+				}
+				if in.stampNodes[a].Red.Best() != nil {
+					red++
+				}
 			}
-		}
-		cov := float64(blue) / float64(g.Len())
-		if disable {
-			res.BlueCoverageWithoutLock = cov
-		} else {
-			res.BlueCoverageWithLock = cov
-			res.RedCoverage = float64(red) / float64(g.Len())
-		}
+			return lockArm{
+				blue: float64(blue) / float64(g.Len()),
+				red:  float64(red) / float64(g.Len()),
+			}, nil
+		},
 	}
-	return res, nil
+	arms, err := runner.Run(spec, runner.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	return &LockAblationResult{
+		Dest:                    dest,
+		BlueCoverageWithLock:    arms[0].blue,
+		BlueCoverageWithoutLock: arms[1].blue,
+		RedCoverage:             arms[0].red,
+	}, nil
 }
 
 // Print renders the lock ablation.
@@ -75,15 +97,16 @@ type MRAIAblationResult struct {
 }
 
 // RunMRAIAblation runs the single-link-failure workload for plain BGP
-// with the MRAI timer on and off.
-func RunMRAIAblation(g *topology.Graph, trials int, seed int64) (*MRAIAblationResult, error) {
+// with the MRAI timer on and off, sharding each arm's trials across
+// workers (<= 0: one per CPU).
+func RunMRAIAblation(g *topology.Graph, trials int, seed int64, workers int) (*MRAIAblationResult, error) {
 	out := &MRAIAblationResult{}
 	for _, enabled := range []bool{true, false} {
 		p := sim.DefaultParams()
 		p.MRAIEnabled = enabled
 		res, err := RunTransient(TransientOpts{
 			G: g, Trials: trials, Seed: seed, Scenario: ScenarioSingleLink,
-			Params: p, Protocols: []Protocol{ProtoBGP},
+			Params: p, Protocols: []Protocol{ProtoBGP}, Workers: workers,
 		})
 		if err != nil {
 			return nil, err

@@ -3,9 +3,11 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math/rand"
 
 	"stamp/internal/disjoint"
 	"stamp/internal/metrics"
+	"stamp/internal/runner"
 	"stamp/internal/topology"
 )
 
@@ -26,17 +28,100 @@ type Figure1Result struct {
 	Intelligent bool
 }
 
+// Φ is estimated per "anchor": a multi-homed AS whose value stands in for
+// itself and every single-homed descendant that routes through it
+// (footnote 4 of the paper; see disjoint.Anchors). Anchors are
+// independent, so they are the enumerable unit the runner shards; each
+// anchor's sampling RNG is seeded from disjoint.AnchorSeed — the same
+// derivation disjoint.PhiAll uses — making the CDF independent of entry
+// point, worker count, and chunking.
+
+// anchorChunk is how many anchors one runner shard estimates. It is a
+// fixed constant — never derived from the worker count — so the shard
+// enumeration (and thus every derived seed) is identical for any pool
+// size.
+const anchorChunk = 16
+
+// Figure1Spec expresses the Φ experiment as runner shards of anchorChunk
+// anchors each. The returned spec's result type is the chunk's Φ values
+// in anchor order.
+func Figure1Spec(g *topology.Graph, opts disjoint.PhiOpts, intelligent bool, anchors []topology.ASN) runner.Spec[[]float64] {
+	counts := disjoint.UphillCounts(g)
+	name := "figure1"
+	if intelligent {
+		name = "figure1-intelligent"
+	}
+	nShards := (len(anchors) + anchorChunk - 1) / anchorChunk
+	return runner.Spec[[]float64]{
+		Name:   name,
+		Trials: nShards,
+		Seed:   opts.Seed,
+		Run: func(t runner.Trial) ([]float64, error) {
+			lo := t.Index * anchorChunk
+			hi := min(lo+anchorChunk, len(anchors))
+			out := make([]float64, 0, hi-lo)
+			for _, m := range anchors[lo:hi] {
+				rng := rand.New(rand.NewSource(disjoint.AnchorSeed(opts, m)))
+				var v float64
+				if intelligent {
+					v, _ = disjoint.PhiIntelligent(g, counts, m, opts, rng)
+				} else {
+					v = disjoint.Phi(g, counts, m, opts, rng)
+				}
+				out = append(out, v)
+			}
+			return out, nil
+		},
+	}
+}
+
+// runFigure1 shards the anchor estimates across ropts.Workers and
+// assembles the per-destination Φ vector via the disjoint package's
+// footnote-4 anchor mapping.
+func runFigure1(g *topology.Graph, opts disjoint.PhiOpts, intelligent bool, ropts runner.Options) (*Figure1Result, error) {
+	anchorOf, anchors := disjoint.Anchors(g)
+	spec := Figure1Spec(g, opts, intelligent, anchors)
+	chunks, err := runner.Run(spec, ropts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	phiOf := make(map[topology.ASN]float64, len(anchors))
+	i := 0
+	for _, chunk := range chunks {
+		for _, v := range chunk {
+			phiOf[anchors[i]] = v
+			i++
+		}
+	}
+	return summarizePhi(disjoint.AssemblePhi(anchorOf, phiOf), intelligent), nil
+}
+
 // RunFigure1 computes the CDF of Φk over all destination ASes with random
-// locked-blue-provider selection.
+// locked-blue-provider selection, sharded across all CPUs.
 func RunFigure1(g *topology.Graph, opts disjoint.PhiOpts) *Figure1Result {
-	return summarizePhi(disjoint.PhiAll(g, opts), false)
+	return mustFigure1(g, opts, false, runner.Options{})
 }
 
 // RunFigure1Intelligent computes the same CDF when every origin selects
 // its locked blue provider to maximize disjointness odds (§6.1's claimed
 // 92% → 97% improvement).
 func RunFigure1Intelligent(g *topology.Graph, opts disjoint.PhiOpts) *Figure1Result {
-	return summarizePhi(disjoint.PhiAllIntelligent(g, opts), true)
+	return mustFigure1(g, opts, true, runner.Options{})
+}
+
+// RunFigure1With is RunFigure1/RunFigure1Intelligent with explicit runner
+// options (worker count, progress reporting).
+func RunFigure1With(g *topology.Graph, opts disjoint.PhiOpts, intelligent bool, ropts runner.Options) (*Figure1Result, error) {
+	return runFigure1(g, opts, intelligent, ropts)
+}
+
+func mustFigure1(g *topology.Graph, opts disjoint.PhiOpts, intelligent bool, ropts runner.Options) *Figure1Result {
+	res, err := runFigure1(g, opts, intelligent, ropts)
+	if err != nil {
+		// The Φ shards never return errors; a failure here is a runner bug.
+		panic(err)
+	}
+	return res
 }
 
 func summarizePhi(phi []float64, intelligent bool) *Figure1Result {

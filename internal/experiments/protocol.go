@@ -1,8 +1,15 @@
 // Package experiments contains one harness per figure and claim in the
 // paper's evaluation (§6): the Φ disjointness CDF (Figure 1), transient
 // problems under single and multiple link failures for BGP, R-BGP with
-// and without RCI, and STAMP (Figures 2 and 3), and the §6.3 experiments
-// on partial deployment, protocol overhead, and convergence delay.
+// and without RCI, and STAMP (Figures 2 and 3), the §6.3 experiments on
+// partial deployment, protocol overhead, and convergence delay, and a
+// topology-seed × scenario sweep grid beyond the paper's own evaluation.
+//
+// Every harness is expressed as enumerable trials over internal/runner:
+// independent (trial, protocol) shards with seeds derived from a master
+// seed, executed on a worker pool and folded into mergeable
+// internal/metrics aggregates in trial order. Aggregated results — text
+// or JSON — are bit-identical for any worker count (see DESIGN.md).
 package experiments
 
 import (

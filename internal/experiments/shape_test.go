@@ -42,14 +42,18 @@ func TestFigure2Shape(t *testing.T) {
 
 // TestFigure3bShape asserts the paper's headline multi-failure claim:
 // when two failed links share an AS, STAMP's node-disjoint protection
-// roughly halves the damage relative to R-BGP.
+// roughly halves the damage relative to R-BGP. STAMP's per-trial affected
+// counts are heavy-tailed at this topology scale (median 0, occasional
+// 200+ blowups), so the mean comparison needs a large trial count to
+// escape sampling noise; the sharded runner keeps 100 trials affordable.
 func TestFigure3bShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second simulation")
 	}
 	g := smokeGraph(t, 800, 9)
 	res, err := RunTransient(TransientOpts{
-		G: g, Trials: 12, Seed: 3, Scenario: ScenarioTwoLinksShared,
+		G: g, Trials: 100, Seed: 3, Scenario: ScenarioTwoLinksShared,
+		Protocols: []Protocol{ProtoBGP, ProtoRBGP, ProtoSTAMP},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"stamp/internal/metrics"
+	"stamp/internal/runner"
+	"stamp/internal/sim"
+	"stamp/internal/topology"
+)
+
+// A sweep is the cross product the runner was built for: topology seed ×
+// failure scenario × trial × protocol, flattened into one shard
+// enumeration so a single worker pool saturates every core across the
+// whole grid instead of parallelizing only within one cell. Workload and
+// engine seeds are derived from (Seed, topoSeed, scenario, trial[, proto])
+// — never from shard position in the flattened order — so adding a
+// scenario or topology to the grid does not perturb the others' results.
+
+// SweepOpts configures a multi-topology, multi-scenario transient sweep.
+type SweepOpts struct {
+	// N is the size of each generated topology (default 1000).
+	N int
+	// TopoSeeds are the topology generator seeds; one topology per seed
+	// (default {1, 2, 3}).
+	TopoSeeds []int64
+	// Scenarios defaults to the three link-failure workloads of
+	// Figures 2–3.
+	Scenarios []Scenario
+	// Trials is the number of failure instances per (topology, scenario)
+	// cell.
+	Trials int
+	// Seed is the master seed for workload and engine randomness.
+	Seed int64
+	// Params is the timing model (DefaultParams if zero).
+	Params sim.Params
+	// Protocols under test (AllProtocols if nil).
+	Protocols []Protocol
+	// Workers sizes the shared worker pool (<= 0: one per CPU).
+	Workers int
+	// Progress receives (done, total) shard counts across the whole grid.
+	Progress func(done, total int)
+}
+
+func (o SweepOpts) normalized() SweepOpts {
+	if o.N <= 0 {
+		o.N = 1000
+	}
+	if len(o.TopoSeeds) == 0 {
+		o.TopoSeeds = []int64{1, 2, 3}
+	}
+	if len(o.Scenarios) == 0 {
+		o.Scenarios = []Scenario{ScenarioSingleLink, ScenarioTwoLinksApart, ScenarioTwoLinksShared}
+	}
+	if o.Trials <= 0 {
+		o.Trials = 1
+	}
+	if o.Params == (sim.Params{}) {
+		o.Params = sim.DefaultParams()
+	}
+	if o.Protocols == nil {
+		o.Protocols = AllProtocols()
+	}
+	return o
+}
+
+// SweepCell is one (topology, scenario) cell of the grid.
+type SweepCell struct {
+	TopoSeed int64
+	Scenario Scenario
+	Result   *TransientResult
+}
+
+// SweepResult is the full grid.
+type SweepResult struct {
+	// N is the per-topology AS count.
+	N int
+	// Trials is the per-cell trial count.
+	Trials int
+	// Cells are ordered topology-major, scenario-minor.
+	Cells []*SweepCell
+}
+
+// sweepShard is one unit of sweep work, addressed by grid coordinates.
+type sweepShard struct {
+	cell int
+	out  TrialOutcome
+}
+
+// RunSweep generates one topology per TopoSeed, then shards every
+// (topology, scenario, trial, protocol) combination across one worker
+// pool. Results are bit-identical for any Workers value.
+func RunSweep(opts SweepOpts) (*SweepResult, error) {
+	opts = opts.normalized()
+	graphs := make([]*topology.Graph, len(opts.TopoSeeds))
+	multihomed := make([][]topology.ASN, len(opts.TopoSeeds))
+	for i, ts := range opts.TopoSeeds {
+		g, err := topology.GenerateDefault(opts.N, ts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sweep topology seed %d: %w", ts, err)
+		}
+		graphs[i] = g
+		multihomed[i] = multihomedList(g)
+	}
+
+	nCells := len(opts.TopoSeeds) * len(opts.Scenarios)
+	perCell := opts.Trials * len(opts.Protocols)
+	spec := runner.Spec[sweepShard]{
+		Name:   "sweep",
+		Trials: nCells * perCell,
+		Seed:   opts.Seed,
+		Run: func(t runner.Trial) (sweepShard, error) {
+			cell := t.Index / perCell
+			rem := t.Index % perCell
+			trial := rem / len(opts.Protocols)
+			proto := opts.Protocols[rem%len(opts.Protocols)]
+			ti := cell / len(opts.Scenarios)
+			sc := opts.Scenarios[cell%len(opts.Scenarios)]
+			topoSeed := opts.TopoSeeds[ti]
+			out, err := runTransientShard(graphs[ti], opts.Params, sc, multihomed[ti],
+				trial, proto,
+				runner.DeriveSeed(opts.Seed, topoSeed, int64(sc), streamWorkload, int64(trial)),
+				runner.DeriveSeed(opts.Seed, topoSeed, int64(sc), streamEngine, int64(trial), int64(proto)))
+			if err != nil {
+				return sweepShard{}, fmt.Errorf("topo %d, %v: %w", topoSeed, sc, err)
+			}
+			return sweepShard{cell: cell, out: out}, nil
+		},
+	}
+
+	accs := make([]*transientAccum, nCells)
+	for i := range accs {
+		accs[i] = newTransientAccum(TransientOpts{G: graphs[i/len(opts.Scenarios)], Protocols: opts.Protocols})
+	}
+	_, err := runner.Fold(spec, runner.Options{Workers: opts.Workers, Progress: opts.Progress},
+		accs, func(a []*transientAccum, _ runner.Trial, s sweepShard) []*transientAccum {
+			a[s.cell].merge(s.out)
+			return a
+		})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+
+	res := &SweepResult{N: opts.N, Trials: opts.Trials}
+	for i, acc := range accs {
+		res.Cells = append(res.Cells, &SweepCell{
+			TopoSeed: opts.TopoSeeds[i/len(opts.Scenarios)],
+			Scenario: opts.Scenarios[i%len(opts.Scenarios)],
+			Result:   acc.result(opts.Scenarios[i%len(opts.Scenarios)], opts.Trials),
+		})
+	}
+	return res, nil
+}
+
+// Print renders per-cell rows plus a per-scenario summary averaged over
+// topologies.
+func (r *SweepResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Sweep — %d-AS topologies, %d trials per cell\n", r.N, r.Trials)
+	t := metrics.NewTable("topo seed", "scenario", "protocol", "mean affected", "mean convergence", "updates")
+	for _, c := range r.Cells {
+		for _, p := range AllProtocols() {
+			st, ok := c.Result.Stats[p]
+			if !ok {
+				continue
+			}
+			t.AddRow(
+				fmt.Sprintf("%d", c.TopoSeed),
+				c.Scenario.String(),
+				p.String(),
+				fmt.Sprintf("%.1f", st.MeanAffected),
+				st.MeanConvergence.Round(time.Millisecond).String(),
+				fmt.Sprintf("%.0f", st.MeanUpdates),
+			)
+		}
+	}
+	if err := t.Render(w); err != nil {
+		fmt.Fprintf(w, "render error: %v\n", err)
+	}
+
+	fmt.Fprintln(w, "\nPer-scenario aggregates over all topologies:")
+	s := metrics.NewTable("scenario", "protocol", "mean affected", "pooled median", "pooled p90")
+	type key struct {
+		sc Scenario
+		p  Protocol
+	}
+	// Per-cell means average via Accum.Merge; the pooled trial-level
+	// distribution needs the cells' histograms combined (all cells share
+	// bucket bounds since every topology has N ASes), which per-cell means
+	// cannot reconstruct.
+	sums := make(map[key]*metrics.Accum)
+	pooled := make(map[key]*metrics.Histogram)
+	var order []key
+	for _, c := range r.Cells {
+		for _, p := range AllProtocols() {
+			st, ok := c.Result.Stats[p]
+			if !ok {
+				continue
+			}
+			k := key{c.Scenario, p}
+			if sums[k] == nil {
+				sums[k] = &metrics.Accum{}
+				order = append(order, k)
+			}
+			var cell metrics.Accum
+			cell.Add(st.MeanAffected)
+			sums[k].Merge(cell)
+			if st.AffectedHist != nil {
+				if pooled[k] == nil {
+					// Fresh histogram with the cells' shared bucket layout,
+					// so pooling never mutates a cell's own result.
+					pooled[k], _ = metrics.NewHistogram(affectedBuckets(r.N)...)
+				}
+				if err := pooled[k].Merge(st.AffectedHist); err != nil {
+					fmt.Fprintf(w, "histogram merge error: %v\n", err)
+				}
+			}
+		}
+	}
+	for _, k := range order {
+		med, p90 := "-", "-"
+		if h := pooled[k]; h != nil && h.Total() > 0 {
+			med = fmt.Sprintf("<=%.0f", h.Quantile(0.5))
+			p90 = fmt.Sprintf("<=%.0f", h.Quantile(0.9))
+		}
+		s.AddRow(k.sc.String(), k.p.String(), fmt.Sprintf("%.1f", sums[k].Mean()), med, p90)
+	}
+	if err := s.Render(w); err != nil {
+		fmt.Fprintf(w, "render error: %v\n", err)
+	}
+}

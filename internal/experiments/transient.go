@@ -2,10 +2,13 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
 	"stamp/internal/forwarding"
+	"stamp/internal/metrics"
+	"stamp/internal/runner"
 	"stamp/internal/sim"
 	"stamp/internal/topology"
 )
@@ -44,6 +47,15 @@ func (s Scenario) String() string {
 	return fmt.Sprintf("Scenario(%d)", int(s))
 }
 
+// Seed-derivation stream labels. Workload randomness (which failure to
+// inject) is shared by all protocols of a trial so they face the same
+// event; engine randomness (delays, MRAI jitter) is private per
+// (trial, protocol).
+const (
+	streamWorkload int64 = iota + 1
+	streamEngine
+)
+
 // TransientOpts configures a transient-problem experiment.
 type TransientOpts struct {
 	// G is the AS topology.
@@ -53,12 +65,32 @@ type TransientOpts struct {
 	// Trials is the number of random destination/failure instances
 	// (the paper uses 100).
 	Trials int
-	// Seed drives all trial randomness.
+	// Seed is the master seed; every trial derives its own seeds from it,
+	// so results do not depend on Workers.
 	Seed int64
 	// Scenario is the failure workload.
 	Scenario Scenario
 	// Protocols under test (AllProtocols if nil).
 	Protocols []Protocol
+	// Workers sizes the trial worker pool (<= 0: one per CPU).
+	Workers int
+	// Progress, when non-nil, receives (done, total) shard counts as the
+	// sweep advances.
+	Progress func(done, total int)
+}
+
+// normalized fills defaults, leaving opts itself untouched.
+func (o TransientOpts) normalized() TransientOpts {
+	if o.Trials <= 0 {
+		o.Trials = 1
+	}
+	if o.Params == (sim.Params{}) {
+		o.Params = sim.DefaultParams()
+	}
+	if o.Protocols == nil {
+		o.Protocols = AllProtocols()
+	}
+	return o
 }
 
 // ProtocolStats aggregates one protocol's results over all trials.
@@ -76,8 +108,12 @@ type ProtocolStats struct {
 	// InitialUpdates is the average message count of initial route
 	// propagation (used by the overhead experiment).
 	InitialUpdates float64
-	// Affected holds per-trial affected counts for distribution analysis.
+	// Affected holds per-trial affected counts, in trial order, for
+	// distribution analysis.
 	Affected []int
+	// AffectedHist is the distribution of per-trial affected counts in
+	// power-of-two buckets sized to the topology.
+	AffectedHist *metrics.Histogram
 }
 
 // TransientResult is the outcome of RunTransient.
@@ -85,6 +121,26 @@ type TransientResult struct {
 	Scenario Scenario
 	Trials   int
 	Stats    map[Protocol]*ProtocolStats
+}
+
+// TrialOutcome is the result of one (trial, protocol) shard of a
+// transient experiment — the runner's unit of work.
+type TrialOutcome struct {
+	// Trial is the failure instance index; Proto is the protocol that
+	// faced it.
+	Trial int
+	Proto Protocol
+	// Affected counts ASes that experienced a transient problem and are
+	// fine once converged.
+	Affected int
+	// Convergence is the time from failure injection to the last routing
+	// change.
+	Convergence time.Duration
+	// Updates and Withdrawals count messages during failure convergence;
+	// InitialUpdates counts initial route propagation.
+	Updates        int64
+	Withdrawals    int64
+	InitialUpdates int64
 }
 
 // failureSet is one trial's workload: the destination plus links to fail
@@ -95,14 +151,20 @@ type failureSet struct {
 	node  topology.ASN
 }
 
-// pickFailure draws a destination and failure set for the scenario.
-func pickFailure(g *topology.Graph, sc Scenario, rng *rand.Rand) (failureSet, error) {
-	var multihomed []topology.ASN
+// multihomedList enumerates candidate destination ASes once per run so
+// trial shards don't rescan the topology.
+func multihomedList(g *topology.Graph) []topology.ASN {
+	var out []topology.ASN
 	for a := 0; a < g.Len(); a++ {
 		if g.IsMultihomed(topology.ASN(a)) {
-			multihomed = append(multihomed, topology.ASN(a))
+			out = append(out, topology.ASN(a))
 		}
 	}
+	return out
+}
+
+// pickFailure draws a destination and failure set for the scenario.
+func pickFailure(g *topology.Graph, multihomed []topology.ASN, sc Scenario, rng *rand.Rand) (failureSet, error) {
 	if len(multihomed) == 0 {
 		return failureSet{}, fmt.Errorf("experiments: topology has no multi-homed AS")
 	}
@@ -181,80 +243,156 @@ func pickIndirectProviderLink(g *topology.Graph, dest, p topology.ASN, rng *rand
 	return [2]topology.ASN{}, false
 }
 
+// TransientSpec expresses the transient experiment as enumerable runner
+// shards, one per (trial, protocol) pair ordered trial-major. The
+// workload of trial t is derived from (Seed, streamWorkload, t) — shared
+// by all protocols of that trial — and each shard's engine seed from
+// (Seed, streamEngine, t, protocol), so any shard can run on any worker
+// in any order. Defaults (trial count, params, protocols) are filled as
+// in RunTransient.
+func TransientSpec(opts TransientOpts) (runner.Spec[TrialOutcome], error) {
+	if opts.G == nil {
+		return runner.Spec[TrialOutcome]{}, fmt.Errorf("experiments: nil topology")
+	}
+	opts = opts.normalized()
+	multihomed := multihomedList(opts.G)
+	protos := opts.Protocols
+	return runner.Spec[TrialOutcome]{
+		Name:   fmt.Sprintf("transient(%v)", opts.Scenario),
+		Trials: opts.Trials * len(protos),
+		Seed:   opts.Seed,
+		Run: func(t runner.Trial) (TrialOutcome, error) {
+			trial := t.Index / len(protos)
+			proto := protos[t.Index%len(protos)]
+			return runTransientShard(opts.G, opts.Params, opts.Scenario, multihomed,
+				trial, proto,
+				runner.DeriveSeed(opts.Seed, streamWorkload, int64(trial)),
+				runner.DeriveSeed(opts.Seed, streamEngine, int64(trial), int64(proto)))
+		},
+	}, nil
+}
+
+// runTransientShard regenerates trial's workload from wlSeed and runs one
+// protocol through it with engSeed driving the engine.
+func runTransientShard(g *topology.Graph, params sim.Params, sc Scenario, multihomed []topology.ASN,
+	trial int, proto Protocol, wlSeed, engSeed int64) (TrialOutcome, error) {
+	fs, err := pickFailure(g, multihomed, sc, rand.New(rand.NewSource(wlSeed)))
+	if err != nil {
+		return TrialOutcome{}, err
+	}
+	out, err := runOneTrial(g, params, proto, fs, engSeed)
+	if err != nil {
+		return TrialOutcome{}, fmt.Errorf("%v trial %d: %w", proto, trial, err)
+	}
+	out.Trial, out.Proto = trial, proto
+	return out, nil
+}
+
+// affectedBuckets sizes power-of-two histogram buckets to the topology so
+// every shard of a run builds mergeable histograms.
+func affectedBuckets(n int) []float64 {
+	k := 1
+	for v := 1; v < n; v *= 2 {
+		k++
+	}
+	return metrics.ExpBuckets(1, 2, k)
+}
+
+// transientAccum folds TrialOutcome shards into per-protocol aggregates.
+// The runner merges strictly in shard order, so Affected slices and
+// float sums come out identical for any worker count.
+type transientAccum struct {
+	buckets []float64
+	stats   map[Protocol]*protoAccum
+	protos  []Protocol
+}
+
+type protoAccum struct {
+	affected, convergence, updates, withdrawals, initial metrics.Accum
+	perTrial                                             []int
+	hist                                                 *metrics.Histogram
+}
+
+func newTransientAccum(opts TransientOpts) *transientAccum {
+	a := &transientAccum{
+		buckets: affectedBuckets(opts.G.Len()),
+		stats:   make(map[Protocol]*protoAccum, len(opts.Protocols)),
+		protos:  opts.Protocols,
+	}
+	for _, p := range opts.Protocols {
+		h, err := metrics.NewHistogram(a.buckets...)
+		if err != nil {
+			// affectedBuckets always yields >= 1 increasing bound.
+			panic(err)
+		}
+		a.stats[p] = &protoAccum{hist: h}
+	}
+	return a
+}
+
+func (a *transientAccum) merge(out TrialOutcome) *transientAccum {
+	st := a.stats[out.Proto]
+	st.perTrial = append(st.perTrial, out.Affected)
+	st.affected.Add(float64(out.Affected))
+	st.hist.Observe(float64(out.Affected))
+	st.convergence.Add(float64(out.Convergence))
+	st.updates.Add(float64(out.Updates))
+	st.withdrawals.Add(float64(out.Withdrawals))
+	st.initial.Add(float64(out.InitialUpdates))
+	return a
+}
+
+func (a *transientAccum) result(sc Scenario, trials int) *TransientResult {
+	res := &TransientResult{Scenario: sc, Trials: trials, Stats: make(map[Protocol]*ProtocolStats, len(a.protos))}
+	for _, p := range a.protos {
+		st := a.stats[p]
+		ps := &ProtocolStats{
+			MeanAffected:    st.affected.Mean(),
+			MeanUpdates:     st.updates.Mean(),
+			MeanWithdrawals: st.withdrawals.Mean(),
+			InitialUpdates:  st.initial.Mean(),
+			Affected:        st.perTrial,
+			AffectedHist:    st.hist,
+		}
+		if m := st.convergence.Mean(); !math.IsNaN(m) {
+			ps.MeanConvergence = time.Duration(m)
+		}
+		res.Stats[p] = ps
+	}
+	return res
+}
+
 // RunTransient measures the number of ASes experiencing transient routing
 // problems for each protocol under the given failure scenario, averaged
 // over Trials random instances — the harness behind Figures 2 and 3.
+// Shards run on opts.Workers goroutines; the aggregated result is
+// bit-identical for any worker count.
 func RunTransient(opts TransientOpts) (*TransientResult, error) {
 	if opts.G == nil {
 		return nil, fmt.Errorf("experiments: nil topology")
 	}
-	if opts.Trials <= 0 {
-		opts.Trials = 1
+	opts = opts.normalized()
+	spec, err := TransientSpec(opts)
+	if err != nil {
+		return nil, err
 	}
-	if opts.Params == (sim.Params{}) {
-		opts.Params = sim.DefaultParams()
+	acc, err := runner.Fold(spec, runner.Options{Workers: opts.Workers, Progress: opts.Progress},
+		newTransientAccum(opts),
+		func(a *transientAccum, _ runner.Trial, out TrialOutcome) *transientAccum { return a.merge(out) })
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	protos := opts.Protocols
-	if protos == nil {
-		protos = AllProtocols()
-	}
-	res := &TransientResult{
-		Scenario: opts.Scenario,
-		Trials:   opts.Trials,
-		Stats:    make(map[Protocol]*ProtocolStats),
-	}
-	for _, p := range protos {
-		res.Stats[p] = &ProtocolStats{}
-	}
-
-	scenarioRng := rand.New(rand.NewSource(opts.Seed))
-	for trial := 0; trial < opts.Trials; trial++ {
-		fs, err := pickFailure(opts.G, opts.Scenario, scenarioRng)
-		if err != nil {
-			return nil, err
-		}
-		for _, proto := range protos {
-			tr, err := runOneTrial(opts.G, opts.Params, proto, fs, opts.Seed+int64(trial)*7919+int64(proto))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %v trial %d: %w", proto, trial, err)
-			}
-			st := res.Stats[proto]
-			st.Affected = append(st.Affected, tr.affected)
-			st.MeanAffected += float64(tr.affected)
-			st.MeanConvergence += tr.convergence
-			st.MeanUpdates += float64(tr.updates)
-			st.MeanWithdrawals += float64(tr.withdrawals)
-			st.InitialUpdates += float64(tr.initialUpdates)
-		}
-	}
-	for _, st := range res.Stats {
-		n := float64(opts.Trials)
-		st.MeanAffected /= n
-		st.MeanConvergence = time.Duration(float64(st.MeanConvergence) / n)
-		st.MeanUpdates /= n
-		st.MeanWithdrawals /= n
-		st.InitialUpdates /= n
-	}
-	return res, nil
-}
-
-// trialResult is the outcome of one protocol on one failure instance.
-type trialResult struct {
-	affected       int
-	convergence    time.Duration
-	updates        int64
-	withdrawals    int64
-	initialUpdates int64
+	return acc.result(opts.Scenario, opts.Trials), nil
 }
 
 // runOneTrial converges the protocol, injects the failure, sweeps the
 // data plane throughout re-convergence, and counts ASes that both
 // experienced a transient problem and are fine once converged (problems
 // of permanently disconnected ASes are not transient).
-func runOneTrial(g *topology.Graph, params sim.Params, proto Protocol, fs failureSet, seed int64) (trialResult, error) {
+func runOneTrial(g *topology.Graph, params sim.Params, proto Protocol, fs failureSet, seed int64) (TrialOutcome, error) {
 	in := buildInstance(proto, g, params, seed, fs.dest, nil)
 	if _, err := in.e.Run(); err != nil {
-		return trialResult{}, fmt.Errorf("initial convergence: %w", err)
+		return TrialOutcome{}, fmt.Errorf("initial convergence: %w", err)
 	}
 	initialUpd, _ := in.messageCounts()
 
@@ -293,11 +431,11 @@ func runOneTrial(g *topology.Graph, params sim.Params, proto Protocol, fs failur
 	}
 	for _, l := range fs.links {
 		if err := in.net.FailLink(l[0], l[1]); err != nil {
-			return trialResult{}, err
+			return TrialOutcome{}, err
 		}
 	}
 	if _, err := in.e.Run(); err != nil {
-		return trialResult{}, fmt.Errorf("failure convergence: %w", err)
+		return TrialOutcome{}, fmt.Errorf("failure convergence: %w", err)
 	}
 	in.setRouteEventHook(nil)
 	in.setTableChangeHook(nil)
@@ -310,11 +448,11 @@ func runOneTrial(g *topology.Graph, params sim.Params, proto Protocol, fs failur
 		}
 	}
 	upd, wd := in.messageCounts()
-	return trialResult{
-		affected:       affected,
-		convergence:    lastChange - t0,
-		updates:        upd - initialUpd,
-		withdrawals:    wd,
-		initialUpdates: initialUpd,
+	return TrialOutcome{
+		Affected:       affected,
+		Convergence:    lastChange - t0,
+		Updates:        upd - initialUpd,
+		Withdrawals:    wd,
+		InitialUpdates: initialUpd,
 	}, nil
 }

@@ -1,6 +1,8 @@
 // Package metrics provides the small statistical and presentation
 // utilities shared by the experiment harnesses: empirical CDFs, summary
-// statistics, and fixed-width table rendering for paper-style output.
+// statistics, fixed-width table rendering for paper-style output, and
+// mergeable aggregates (Accum, Histogram, CDF.Merge) that let sharded
+// experiment runs combine per-trial results without losing determinism.
 package metrics
 
 import (

@@ -1,0 +1,42 @@
+package runner_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stamp/internal/runner"
+)
+
+// Example estimates π by Monte Carlo with 8 shards of 100k darts each.
+// Every shard draws from its own derived seed, and Fold merges hit counts
+// in shard order, so the printed estimate is bit-identical whether the
+// pool runs 1 worker or 8.
+func Example() {
+	spec := runner.Spec[int]{
+		Name:   "pi",
+		Trials: 8,
+		Seed:   2008, // the paper's publication year, as good as any
+		Run: func(t runner.Trial) (int, error) {
+			rng := rand.New(rand.NewSource(t.Seed))
+			hits := 0
+			for i := 0; i < 100_000; i++ {
+				x, y := rng.Float64(), rng.Float64()
+				if x*x+y*y <= 1 {
+					hits++
+				}
+			}
+			return hits, nil
+		},
+	}
+	for _, workers := range []int{1, 8} {
+		total, err := runner.Fold(spec, runner.Options{Workers: workers}, 0,
+			func(acc int, _ runner.Trial, hits int) int { return acc + hits })
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("workers=%d pi≈%.4f\n", workers, 4*float64(total)/float64(8*100_000))
+	}
+	// Output:
+	// workers=1 pi≈3.1422
+	// workers=8 pi≈3.1422
+}

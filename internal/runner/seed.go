@@ -1,0 +1,33 @@
+package runner
+
+// Seed derivation for sharded trials. Every trial (and every independent
+// random stream inside a trial) gets its own seed computed from the
+// experiment's master seed and the trial's position in the enumeration,
+// never from a shared RNG consumed in completion order. That is what
+// makes results bit-identical regardless of worker count: the random
+// choices of trial i cannot depend on how many trials ran before it or
+// on which goroutine ran them.
+
+// mix64 is the SplitMix64 finalizer (Steele, Lea, Flood — "Fast
+// splittable pseudorandom number generators", OOPSLA'14). It is a
+// bijection on 64-bit values with strong avalanche behavior, which makes
+// derived seeds statistically independent even for adjacent stream
+// indices.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed maps a master seed plus a path of stream labels to a child
+// seed. Labels are absorbed in order with an asymmetric combine (the
+// running state and the incoming label play different roles, so swapping
+// master and label, or two adjacent labels, yields different seeds).
+func DeriveSeed(master int64, stream ...int64) int64 {
+	x := uint64(master)
+	for _, s := range stream {
+		x ^= mix64(uint64(s)) + 0x9e3779b97f4a7c15 + (x << 6) + (x >> 2)
+	}
+	return int64(mix64(x))
+}

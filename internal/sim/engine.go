@@ -71,7 +71,9 @@ func (h *eventHeap) Pop() any           { old := *h; n := len(old); e := old[n-1
 func (h eventHeap) peek() time.Duration { return h[0].at }
 
 // Engine is a deterministic discrete-event scheduler. It is not
-// goroutine-safe; a simulation runs on a single goroutine.
+// goroutine-safe; a simulation runs on a single goroutine. Parallelism
+// lives one level up: internal/runner shards independent trials, each
+// with its own Engine, across a worker pool.
 type Engine struct {
 	P Params
 
