@@ -16,7 +16,9 @@ import (
 	"testing"
 
 	"stamp/internal/disjoint"
+	"stamp/internal/emu"
 	"stamp/internal/experiments"
+	"stamp/internal/scenario"
 	"stamp/internal/sim"
 	"stamp/internal/topology"
 )
@@ -236,6 +238,35 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkEmuConvergence boots the live-emulation fleet — 200 ASes as
+// real STAMP red/blue wire-protocol speakers over the in-memory pipe
+// transport — injects a single link failure, and waits for wall-clock
+// quiescence. It reports the live fleet's boot and convergence times,
+// the subsystem's headline cost (sim benchmarks above measure virtual
+// time; this one measures the implementation).
+func BenchmarkEmuConvergence(b *testing.B) {
+	const n = 200
+	g, err := topology.GenerateDefault(n, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	script, err := scenario.Named("link-failure", g, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := emu.Run(emu.Options{Graph: g, Transport: "pipe"}, script)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Boot.Milliseconds()), "boot-ms")
+		b.ReportMetric(float64(res.InitialConvergence.Milliseconds()), "initial-ms")
+		b.ReportMetric(res.ScenarioConvergence.Seconds()*1e3, "scenario-ms")
+		b.ReportMetric(float64(res.Stats.Sessions), "sessions")
+		b.ReportMetric(float64(res.Stats.Updates), "updates")
+	}
 }
 
 // BenchmarkEngineThroughput measures raw simulator performance: events

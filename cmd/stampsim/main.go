@@ -27,6 +27,7 @@ import (
 	"stamp/internal/disjoint"
 	"stamp/internal/experiments"
 	"stamp/internal/runner"
+	"stamp/internal/scenario"
 	"stamp/internal/topology"
 )
 
@@ -262,17 +263,10 @@ func (o *output) flush() error {
 }
 
 func parseScenario(s string) (experiments.Scenario, error) {
-	switch s {
-	case "single-link", "":
+	if s == "" {
 		return experiments.ScenarioSingleLink, nil
-	case "two-links-apart":
-		return experiments.ScenarioTwoLinksApart, nil
-	case "two-links-shared":
-		return experiments.ScenarioTwoLinksShared, nil
-	case "node-failure":
-		return experiments.ScenarioNodeFailure, nil
 	}
-	return 0, fmt.Errorf("unknown scenario %q (want single-link, two-links-apart, two-links-shared, or node-failure)", s)
+	return scenario.ParseKind(s)
 }
 
 func parseSeeds(s string) ([]int64, error) {

@@ -1,16 +1,19 @@
 // Livespeakers: run a miniature STAMP deployment over real TCP on
-// localhost. Five routing processes form the topology
+// localhost, using the internal/emu fabric. Four ASes form the diamond
 //
-//	     AS64515 (tier-1)
-//	     /      \
-//	AS64513    AS64514
-//	     \      /
-//	     AS64512  (origin, multihomed)
+//	    AS3 (tier-1)
+//	   /     \
+//	AS1       AS2
+//	   \     /
+//	    AS0  (origin, multihomed)
 //
-// where each link is a live wire-protocol session. The origin announces
-// its prefix blue+locked to AS64513 and red to AS64514; the tier-1 ends
-// up with both colors through different customers — the complementary
-// paths STAMP wants.
+// where every link carries one live red and one live blue wire-protocol
+// session. The origin announces its prefix blue+locked to AS1 and red to
+// AS2; the tier-1 ends up with both colors through different customers —
+// the complementary paths STAMP wants. The demo then fails the locked
+// blue link AS0--AS1 in wall-clock time, shows blue re-rooting through
+// AS2, and differentially validates the final tables against the
+// discrete-event simulator.
 //
 //	go run ./examples/livespeakers
 package main
@@ -18,87 +21,81 @@ package main
 import (
 	"fmt"
 	"log"
-	"time"
 
-	"stamp/internal/netd"
+	"stamp/internal/emu"
+	"stamp/internal/scenario"
 	"stamp/internal/topology"
-	"stamp/internal/wire"
 )
 
 func main() {
-	mk := func(as uint16, color byte) *netd.Speaker {
-		return netd.NewSpeaker(netd.SpeakerConfig{
-			AS: as, RouterID: uint32(as), Color: color,
-			HoldTime: 5 * time.Second,
-		})
-	}
-
-	// One process per color per AS; sessions are per color, like the
-	// paper's two-process design. For brevity this demo wires only the
-	// sessions each color actually uses.
-	type router struct{ red, blue *netd.Speaker }
-	routers := map[uint16]router{
-		64512: {mk(64512, 0), mk(64512, 1)},
-		64513: {mk(64513, 0), mk(64513, 1)},
-		64514: {mk(64514, 0), mk(64514, 1)},
-		64515: {mk(64515, 0), mk(64515, 1)},
-	}
-	defer func() {
-		for _, r := range routers {
-			r.red.Close()
-			r.blue.Close()
-		}
-	}()
-
-	// Listeners: transit ASes accept their customers; tier-1 accepts both
-	// transits.
-	listen := func(sp *netd.Speaker, expect map[uint16]netd.Rel) string {
-		addr, err := sp.Listen("127.0.0.1:0", expect)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return addr.String()
-	}
-	b13 := listen(routers[64513].blue, map[uint16]netd.Rel{64512: topology.RelCustomer})
-	r14 := listen(routers[64514].red, map[uint16]netd.Rel{64512: topology.RelCustomer})
-	b15 := listen(routers[64515].blue, map[uint16]netd.Rel{64513: topology.RelCustomer})
-	r15 := listen(routers[64515].red, map[uint16]netd.Rel{64514: topology.RelCustomer})
-
-	dial := func(sp *netd.Speaker, addr string, as uint16) {
-		if err := sp.Dial(addr, as, topology.RelProvider); err != nil {
-			log.Fatal(err)
-		}
-		if err := sp.WaitEstablished(as, 3*time.Second); err != nil {
+	g := topology.NewGraph(4)
+	for _, l := range [][2]topology.ASN{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if err := g.AddProviderLink(l[0], l[1]); err != nil {
 			log.Fatal(err)
 		}
 	}
-	// Origin's blue process peers with 64513, red with 64514.
-	dial(routers[64512].blue, b13, 64513)
-	dial(routers[64512].red, r14, 64514)
-	// Transit blue chain continues to the tier-1 (lock propagation);
-	// transit red does too.
-	dial(routers[64513].blue, b15, 64515)
-	dial(routers[64514].red, r15, 64515)
-
-	fmt.Println("all sessions established")
-
-	pfx := wire.MustPrefix("198.51.100.0/24")
-	routers[64512].blue.Originate(pfx, 64513) // locked blue to 64513
-	routers[64512].red.Originate(pfx, 64513)  // red skips the locked provider
-
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		red := routers[64515].red.Best(pfx)
-		blue := routers[64515].blue.Best(pfx)
-		if red != nil && blue != nil {
-			fmt.Printf("tier-1 AS64515 reached by both processes:\n")
-			fmt.Printf("  red : path %v\n", red.ASPath)
-			fmt.Printf("  blue: path %v (lock=%v)\n", blue.ASPath, blue.Lock)
-			fmt.Println("\nthe two AS paths are node-disjoint below the tier-1 —")
-			fmt.Println("exactly the complementary routes STAMP maintains.")
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
+	if err := g.Validate(); err != nil {
+		log.Fatal(err)
 	}
-	log.Fatal("routes did not propagate in time")
+
+	script := scenario.Script{
+		Name: "fail-locked-blue-link",
+		Dest: 0,
+		Events: []scenario.Event{
+			{Op: scenario.OpFailLink, A: 0, B: 1},
+		},
+	}
+
+	// Phase 1: boot over real TCP loopback and converge without failures,
+	// to show the complementary paths.
+	f, err := emu.New(emu.Options{Graph: g, Transport: "tcp"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Boot(); err != nil {
+		log.Fatal(err)
+	}
+	f.Originate(script.Dest)
+	if err := f.WaitConverged(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("all sessions established, fleet converged")
+
+	t := f.Tables()
+	fmt.Printf("tier-1 AS3 reached by both processes:\n")
+	fmt.Printf("  red : path %v\n", t.Red[3])
+	fmt.Printf("  blue: path %v\n", t.Blue[3])
+	fmt.Println("\nthe two AS paths are node-disjoint below the tier-1 —")
+	fmt.Println("exactly the complementary routes STAMP maintains.")
+
+	// Phase 2: kill the locked blue link for real and watch blue re-root.
+	fmt.Println("\nfailing link AS0--AS1 (the locked blue uplink)...")
+	if err := f.RunScript(script); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.WaitConverged(); err != nil {
+		log.Fatal(err)
+	}
+	t = f.Tables()
+	fmt.Printf("after failure, tier-1 AS3:\n")
+	fmt.Printf("  red : path %v\n", t.Red[3])
+	fmt.Printf("  blue: path %v (re-rooted through AS2)\n", t.Blue[3])
+	f.Close()
+
+	// Differential validation: the live fleet must have converged to the
+	// simulator's exact tables on the same topology and script.
+	simT, err := emu.SimTables(g, script, emu.ReferenceParams(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if divs := simT.Diff(t); len(divs) > 0 {
+		for _, d := range divs {
+			fmt.Println("divergence:", d)
+		}
+		log.Fatal("live tables diverged from the simulator")
+	}
+	fmt.Println("\ndifferential validation: live tables == simulator tables")
+	if t.Blue[3] == nil || t.Blue[3][0] != 2 {
+		log.Fatal("blue did not re-root through AS2")
+	}
 }

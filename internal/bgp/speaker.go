@@ -90,6 +90,20 @@ func NewSpeaker(self topology.ASN, color Color, g *topology.Graph, e *sim.Engine
 // Best returns the current best route (nil if none).
 func (s *Speaker) Best() *Route { return s.best }
 
+// BestPath exports the selected route's AS path for RIB dumps and
+// sim-vs-live differential validation: ok is false when the process has
+// no route; a locally originated route yields an empty (non-nil) path.
+// The returned slice is a copy.
+func (s *Speaker) BestPath() (path []topology.ASN, ok bool) {
+	if s.best == nil {
+		return nil, false
+	}
+	if s.best.Origin {
+		return []topology.ASN{}, true
+	}
+	return append([]topology.ASN(nil), s.best.Path...), true
+}
+
 // RibIn returns the route learned from one neighbor (nil if none).
 func (s *Speaker) RibIn(nbr topology.ASN) *Route { return s.ribIn[nbr] }
 

@@ -31,6 +31,21 @@ import (
 	"stamp/internal/topology"
 )
 
+// Network is the message fabric a STAMP node attaches to: it delivers
+// routing messages between ASes and answers link-state queries. The
+// discrete-event simulator's *sim.Network implements it natively; the
+// live emulation (internal/emu) implements it over real netd sessions,
+// which is how the exact same protocol logic runs in both worlds and why
+// sim-vs-live RIB diffs are meaningful.
+type Network interface {
+	// Send queues a routing message from one AS to a neighbor.
+	Send(from, to topology.ASN, payload any)
+	// Register attaches node as the protocol instance of AS a.
+	Register(a topology.ASN, node sim.Node)
+	// LinkUp reports whether the link between a and b is operational.
+	LinkUp(a, b topology.ASN) bool
+}
+
 // BluePicker chooses the locked blue provider among candidates. The
 // default picks uniformly at random, matching §6.1's baseline; the
 // "intelligent" variant used by the Figure 1 extension is provided by the
@@ -41,6 +56,16 @@ type BluePicker func(rng *rand.Rand, candidates []topology.ASN) topology.ASN
 func RandomBluePicker() BluePicker {
 	return func(rng *rand.Rand, candidates []topology.ASN) topology.ASN {
 		return candidates[rng.Intn(len(candidates))]
+	}
+}
+
+// FirstBluePicker always picks the first (lowest-index) candidate. It is
+// fully deterministic — no RNG draw at all — which is what the live
+// emulation and its simulator reference runs share so that both sides
+// make identical lock choices.
+func FirstBluePicker() BluePicker {
+	return func(_ *rand.Rand, candidates []topology.ASN) topology.ASN {
+		return candidates[0]
 	}
 }
 
@@ -63,7 +88,7 @@ type Node struct {
 	Self topology.ASN
 	G    *topology.Graph
 	E    *sim.Engine
-	Net  *sim.Network
+	Net  Network
 
 	Red  *bgp.Speaker
 	Blue *bgp.Speaker
@@ -105,7 +130,7 @@ type Node struct {
 
 // NewNode builds a STAMP node for AS self and registers it with the
 // network.
-func NewNode(self topology.ASN, g *topology.Graph, e *sim.Engine, net *sim.Network) *Node {
+func NewNode(self topology.ASN, g *topology.Graph, e *sim.Engine, net Network) *Node {
 	n := &Node{
 		Self:           self,
 		G:              g,

@@ -1,0 +1,67 @@
+package emu
+
+import (
+	"stamp/internal/bgp"
+	"stamp/internal/topology"
+	"stamp/internal/wire"
+)
+
+// DestPrefix is the prefix every emulated destination originates. The
+// protocol logic is per-prefix (as in the paper's experiments), so one
+// well-known prefix is all the fleet needs.
+var DestPrefix = wire.MustPrefix("10.0.0.0/8")
+
+// encodeMsg serializes a simulator routing message as a live BGP UPDATE:
+// the AS path as AS_PATH, STAMP's Lock as the Lock attribute, Msg's
+// CausedByLoss as ET=0, and the process color as the Color attribute —
+// exactly the paper's "two optional transitive attributes on otherwise
+// standard UPDATEs".
+func encodeMsg(m bgp.Msg) *wire.Update {
+	u := &wire.Update{}
+	u.Attrs.HasET = true
+	u.Attrs.ET = 1
+	if m.CausedByLoss {
+		u.Attrs.ET = 0
+	}
+	u.Attrs.HasColor = true
+	u.Attrs.Color = byte(m.Color)
+	if m.Withdraw {
+		u.Withdrawn = []wire.Prefix{DestPrefix}
+		return u
+	}
+	u.Attrs.HasOrigin = true
+	u.Attrs.Lock = m.Route.Lock
+	u.Attrs.ASPath = make([]uint16, len(m.Route.Path))
+	for i, as := range m.Route.Path {
+		u.Attrs.ASPath[i] = uint16(as)
+	}
+	u.NLRI = []wire.Prefix{DestPrefix}
+	return u
+}
+
+// decodeMsg parses a live UPDATE back into a simulator routing message
+// for the session's color. ok is false for updates that carry nothing
+// for the destination prefix.
+func decodeMsg(u *wire.Update, color bgp.Color) (bgp.Msg, bool) {
+	loss := u.Attrs.HasET && u.Attrs.ET == 0
+	for _, p := range u.Withdrawn {
+		if p == DestPrefix {
+			return bgp.Msg{Withdraw: true, Color: color, CausedByLoss: loss}, true
+		}
+	}
+	for _, p := range u.NLRI {
+		if p != DestPrefix {
+			continue
+		}
+		path := make([]topology.ASN, len(u.Attrs.ASPath))
+		for i, as := range u.Attrs.ASPath {
+			path[i] = topology.ASN(as)
+		}
+		return bgp.Msg{
+			Route:        &bgp.Route{Path: path, Lock: u.Attrs.Lock, Color: color},
+			Color:        color,
+			CausedByLoss: loss,
+		}, true
+	}
+	return bgp.Msg{}, false
+}

@@ -1,0 +1,149 @@
+package emu
+
+import (
+	"fmt"
+
+	"stamp/internal/bgp"
+	"stamp/internal/core"
+	"stamp/internal/scenario"
+	"stamp/internal/sim"
+	"stamp/internal/topology"
+)
+
+// Tables is a routing-table snapshot of a whole fleet: per AS, the best
+// red and blue AS paths. nil = no route; an empty non-nil path = locally
+// originated.
+type Tables struct {
+	Red  [][]topology.ASN `json:"red"`
+	Blue [][]topology.ASN `json:"blue"`
+}
+
+func newTables(n int) *Tables {
+	return &Tables{Red: make([][]topology.ASN, n), Blue: make([][]topology.ASN, n)}
+}
+
+// Routes counts entries with a route in the given color.
+func (t *Tables) Routes(c bgp.Color) int {
+	rows := t.Red
+	if c == bgp.ColorBlue {
+		rows = t.Blue
+	}
+	n := 0
+	for _, p := range rows {
+		if p != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Divergence is one sim-vs-live routing table mismatch.
+type Divergence struct {
+	AS    topology.ASN   `json:"as"`
+	Color string         `json:"color"`
+	Sim   []topology.ASN `json:"sim"`
+	Live  []topology.ASN `json:"live"`
+}
+
+// String renders the divergence for logs.
+func (d Divergence) String() string {
+	return fmt.Sprintf("AS%d %s: sim=%v live=%v", d.AS, d.Color, d.Sim, d.Live)
+}
+
+// Diff compares a simulator snapshot (t) against a live snapshot (o) and
+// returns every per-AS, per-color mismatch. Zero divergences is the
+// differential validator's pass condition.
+func (t *Tables) Diff(o *Tables) []Divergence {
+	var out []Divergence
+	check := func(color string, sim, live [][]topology.ASN) {
+		for a := range sim {
+			if !pathsEqual(sim[a], live[a]) {
+				out = append(out, Divergence{AS: topology.ASN(a), Color: color, Sim: sim[a], Live: live[a]})
+			}
+		}
+	}
+	check(bgp.ColorRed.String(), t.Red, o.Red)
+	check(bgp.ColorBlue.String(), t.Blue, o.Blue)
+	return out
+}
+
+// pathsEqual treats nil as "no route", distinct from the empty origin
+// path.
+func pathsEqual(a, b []topology.ASN) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ReferenceParams is the simulator timing model used for differential
+// validation: the paper's message delays, but MRAI and the settle timer
+// disabled, matching the live fleet (which runs timer-free; pacing does
+// not change the converged tables, but MRAI's RNG draws would perturb
+// the sticky lock/assignment history that final tables depend on).
+func ReferenceParams() sim.Params {
+	p := sim.DefaultParams()
+	p.MRAIEnabled = false
+	p.SettleDelay = 0
+	return p
+}
+
+// SimTables runs the discrete-event simulator over the same topology and
+// scenario script the live fleet executed — identical protocol logic,
+// identical deterministic lock choices — and returns its converged
+// routing tables. seed drives only message-delay ordering.
+func SimTables(g *topology.Graph, script scenario.Script, params sim.Params, seed int64) (*Tables, error) {
+	e := sim.NewEngine(params, seed)
+	net := sim.NewNetwork(e, g)
+	nodes := make([]*core.Node, g.Len())
+	for a := 0; a < g.Len(); a++ {
+		nodes[a] = core.NewNode(topology.ASN(a), g, e, net)
+		nodes[a].BluePick = core.FirstBluePicker()
+	}
+	nodes[script.Dest].Originate()
+	if _, err := e.Run(); err != nil {
+		return nil, fmt.Errorf("emu: sim reference initial convergence: %w", err)
+	}
+	exec := simExec{net: net, nodes: nodes}
+	var evErr error
+	for _, ev := range script.Sorted() {
+		ev := ev
+		e.After(ev.At, func() {
+			if err := scenario.Apply(exec, ev); err != nil && evErr == nil {
+				evErr = fmt.Errorf("emu: sim reference applying %v: %w", ev, err)
+			}
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		return nil, fmt.Errorf("emu: sim reference failure convergence: %w", err)
+	}
+	if evErr != nil {
+		return nil, evErr
+	}
+	t := newTables(g.Len())
+	for a, n := range nodes {
+		if p, ok := n.Red.BestPath(); ok {
+			t.Red[a] = p
+		}
+		if p, ok := n.Blue.BestPath(); ok {
+			t.Blue[a] = p
+		}
+	}
+	return t, nil
+}
+
+// simExec adapts the simulator network to scenario.Executor.
+type simExec struct {
+	net   *sim.Network
+	nodes []*core.Node
+}
+
+func (x simExec) FailLink(a, b topology.ASN) error    { return x.net.FailLink(a, b) }
+func (x simExec) RestoreLink(a, b topology.ASN) error { return x.net.RestoreLink(a, b) }
+func (x simExec) FailNode(a topology.ASN) error       { x.net.FailNode(a); return nil }
+func (x simExec) Withdraw(d topology.ASN) error       { x.nodes[d].WithdrawOrigin(); return nil }

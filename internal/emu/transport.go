@@ -1,0 +1,132 @@
+package emu
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"stamp/internal/wire"
+)
+
+// LinkConns is the live transport of one topology link: a connected conn
+// pair per STAMP process color (index 0 = the A-side endpoint, 1 = the
+// B-side endpoint), plus a Sever that hard-kills everything at once —
+// the wall-clock analogue of sim.Network.FailLink dropping in-flight
+// traffic.
+type LinkConns struct {
+	Red   [2]net.Conn
+	Blue  [2]net.Conn
+	Sever func()
+}
+
+// Transport creates the point-to-point wiring for topology links. Two
+// implementations exist: in-memory pipes (scale, CI) and TCP loopback
+// (realism). Link may be called concurrently by the boot worker pool.
+type Transport interface {
+	// Link wires one new topology link.
+	Link() (LinkConns, error)
+	// Close releases transport-wide resources (listeners). Per-link conns
+	// are severed by the fabric, not here.
+	Close() error
+	// Name identifies the transport in output.
+	Name() string
+}
+
+// NewTransport builds a transport by CLI name: "pipe" or "tcp".
+func NewTransport(name string) (Transport, error) {
+	switch name {
+	case "", "pipe":
+		return pipeTransport{}, nil
+	case "tcp":
+		return newTCPTransport()
+	}
+	return nil, fmt.Errorf("emu: unknown transport %q (want pipe or tcp)", name)
+}
+
+// pipeTransport carries each link over a single synchronous in-memory
+// pipe, with the red and blue sessions multiplexed as wire.Mux streams —
+// one OS-resource-free wire per link, which is what lets hundreds of
+// ASes boot in milliseconds.
+type pipeTransport struct{}
+
+const (
+	muxStreamRed  = 0
+	muxStreamBlue = 1
+)
+
+func (pipeTransport) Name() string { return "pipe" }
+
+func (pipeTransport) Link() (LinkConns, error) {
+	ca, cb := net.Pipe()
+	ma := wire.NewMux(ca, muxStreamRed, muxStreamBlue)
+	mb := wire.NewMux(cb, muxStreamRed, muxStreamBlue)
+	return LinkConns{
+		Red:  [2]net.Conn{ma.Stream(muxStreamRed), mb.Stream(muxStreamRed)},
+		Blue: [2]net.Conn{ma.Stream(muxStreamBlue), mb.Stream(muxStreamBlue)},
+		Sever: func() {
+			_ = ma.Close()
+			_ = mb.Close()
+		},
+	}, nil
+}
+
+func (pipeTransport) Close() error { return nil }
+
+// tcpTransport carries each link over two real TCP connections on
+// loopback — one per color, like the paper's two separate BGP processes.
+// A single shared listener hands out conns; Link serializes the
+// dial/accept pairing so no in-band matching protocol is needed.
+type tcpTransport struct {
+	ln net.Listener
+	mu sync.Mutex // one dial/accept pairing at a time
+}
+
+func newTCPTransport() (*tcpTransport, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("emu: tcp transport: %w", err)
+	}
+	return &tcpTransport{ln: ln}, nil
+}
+
+func (t *tcpTransport) Name() string { return "tcp" }
+
+func (t *tcpTransport) pair() (dialed, accepted net.Conn, err error) {
+	dialed, err = net.Dial("tcp", t.ln.Addr().String())
+	if err != nil {
+		return nil, nil, err
+	}
+	accepted, err = t.ln.Accept()
+	if err != nil {
+		dialed.Close()
+		return nil, nil, err
+	}
+	return dialed, accepted, nil
+}
+
+func (t *tcpTransport) Link() (LinkConns, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ra, rb, err := t.pair()
+	if err != nil {
+		return LinkConns{}, err
+	}
+	ba, bb, err := t.pair()
+	if err != nil {
+		ra.Close()
+		rb.Close()
+		return LinkConns{}, err
+	}
+	conns := []net.Conn{ra, rb, ba, bb}
+	return LinkConns{
+		Red:  [2]net.Conn{ra, rb},
+		Blue: [2]net.Conn{ba, bb},
+		Sever: func() {
+			for _, c := range conns {
+				_ = c.Close()
+			}
+		},
+	}, nil
+}
+
+func (t *tcpTransport) Close() error { return t.ln.Close() }

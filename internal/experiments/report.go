@@ -12,9 +12,6 @@ import (
 // (including map keys) read "STAMP" rather than a bare enum value.
 func (p Protocol) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
 
-// MarshalText renders the scenario by name in JSON reports.
-func (s Scenario) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
-
 // paperAffected holds the paper's reported mean affected-AS counts for
 // annotation in the rendered tables (absolute values are topology-bound;
 // the ordering and rough ratios are what the reproduction targets).

@@ -7,6 +7,7 @@ import (
 
 	"stamp/internal/metrics"
 	"stamp/internal/runner"
+	"stamp/internal/scenario"
 	"stamp/internal/sim"
 	"stamp/internal/topology"
 )
@@ -102,7 +103,7 @@ func RunSweep(opts SweepOpts) (*SweepResult, error) {
 			return nil, fmt.Errorf("experiments: sweep topology seed %d: %w", ts, err)
 		}
 		graphs[i] = g
-		multihomed[i] = multihomedList(g)
+		multihomed[i] = scenario.Multihomed(g)
 	}
 
 	nCells := len(opts.TopoSeeds) * len(opts.Scenarios)

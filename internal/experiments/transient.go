@@ -9,43 +9,31 @@ import (
 	"stamp/internal/forwarding"
 	"stamp/internal/metrics"
 	"stamp/internal/runner"
+	"stamp/internal/scenario"
 	"stamp/internal/sim"
 	"stamp/internal/topology"
 )
 
-// Scenario selects the failure workload of §6.2.
-type Scenario int
+// Scenario selects the failure workload of §6.2. The type (and the
+// workload picker behind it) lives in internal/scenario so the live
+// emulation (internal/emu) consumes the exact same definitions.
+type Scenario = scenario.Kind
 
 const (
 	// ScenarioSingleLink fails one provider link of the (multi-homed)
 	// destination AS — Figure 2.
-	ScenarioSingleLink Scenario = iota
+	ScenarioSingleLink = scenario.SingleLink
 	// ScenarioTwoLinksApart fails a provider link of the destination and
 	// an indirect provider link multiple hops away, not sharing any AS —
 	// Figure 3(a).
-	ScenarioTwoLinksApart
+	ScenarioTwoLinksApart = scenario.TwoLinksApart
 	// ScenarioTwoLinksShared fails a provider link of the destination and
 	// a provider link of that same provider — Figure 3(b).
-	ScenarioTwoLinksShared
+	ScenarioTwoLinksShared = scenario.TwoLinksShared
 	// ScenarioNodeFailure fails an entire provider AS of the destination
 	// (the paper's single-node-failure variant).
-	ScenarioNodeFailure
+	ScenarioNodeFailure = scenario.NodeFailure
 )
-
-// String names the scenario.
-func (s Scenario) String() string {
-	switch s {
-	case ScenarioSingleLink:
-		return "single link failure"
-	case ScenarioTwoLinksApart:
-		return "two link failures (no shared AS)"
-	case ScenarioTwoLinksShared:
-		return "two link failures (shared AS)"
-	case ScenarioNodeFailure:
-		return "single node failure"
-	}
-	return fmt.Sprintf("Scenario(%d)", int(s))
-}
 
 // Seed-derivation stream labels. Workload randomness (which failure to
 // inject) is shared by all protocols of a trial so they face the same
@@ -143,106 +131,6 @@ type TrialOutcome struct {
 	InitialUpdates int64
 }
 
-// failureSet is one trial's workload: the destination plus links to fail
-// (for node failure, Node >= 0).
-type failureSet struct {
-	dest  topology.ASN
-	links [][2]topology.ASN
-	node  topology.ASN
-}
-
-// multihomedList enumerates candidate destination ASes once per run so
-// trial shards don't rescan the topology.
-func multihomedList(g *topology.Graph) []topology.ASN {
-	var out []topology.ASN
-	for a := 0; a < g.Len(); a++ {
-		if g.IsMultihomed(topology.ASN(a)) {
-			out = append(out, topology.ASN(a))
-		}
-	}
-	return out
-}
-
-// pickFailure draws a destination and failure set for the scenario.
-func pickFailure(g *topology.Graph, multihomed []topology.ASN, sc Scenario, rng *rand.Rand) (failureSet, error) {
-	if len(multihomed) == 0 {
-		return failureSet{}, fmt.Errorf("experiments: topology has no multi-homed AS")
-	}
-	const maxTries = 1000
-	for try := 0; try < maxTries; try++ {
-		dest := multihomed[rng.Intn(len(multihomed))]
-		provs := g.Providers(dest)
-		p := provs[rng.Intn(len(provs))]
-		fs := failureSet{dest: dest, node: -1}
-		switch sc {
-		case ScenarioSingleLink:
-			fs.links = [][2]topology.ASN{{dest, p}}
-			return fs, nil
-		case ScenarioNodeFailure:
-			fs.node = p
-			return fs, nil
-		case ScenarioTwoLinksShared:
-			pp := g.Providers(p)
-			if len(pp) == 0 {
-				continue // p is tier-1; resample
-			}
-			fs.links = [][2]topology.ASN{{dest, p}, {p, pp[rng.Intn(len(pp))]}}
-			return fs, nil
-		case ScenarioTwoLinksApart:
-			link2, ok := pickIndirectProviderLink(g, dest, p, rng)
-			if !ok {
-				continue
-			}
-			fs.links = [][2]topology.ASN{{dest, p}, link2}
-			return fs, nil
-		}
-	}
-	return failureSet{}, fmt.Errorf("experiments: could not build %v workload", sc)
-}
-
-// pickIndirectProviderLink random-walks up the provider hierarchy from
-// the destination and returns a customer-provider link at least one hop
-// away whose endpoints avoid both the destination and its failed provider
-// p (the "not connected to the same AS" condition of Figure 3(a)).
-func pickIndirectProviderLink(g *topology.Graph, dest, p topology.ASN, rng *rand.Rand) ([2]topology.ASN, bool) {
-	for attempt := 0; attempt < 50; attempt++ {
-		provs := g.Providers(dest)
-		v := provs[rng.Intn(len(provs))]
-		if v == p {
-			continue
-		}
-		// Climb a random number of additional steps, then fail the next
-		// link up.
-		steps := rng.Intn(2)
-		ok := true
-		for i := 0; i < steps; i++ {
-			up := g.Providers(v)
-			if len(up) == 0 {
-				ok = false
-				break
-			}
-			v = up[rng.Intn(len(up))]
-			if v == p || v == dest {
-				ok = false
-				break
-			}
-		}
-		if !ok {
-			continue
-		}
-		up := g.Providers(v)
-		if len(up) == 0 {
-			continue
-		}
-		w := up[rng.Intn(len(up))]
-		if w == p || w == dest || v == p || v == dest {
-			continue
-		}
-		return [2]topology.ASN{v, w}, true
-	}
-	return [2]topology.ASN{}, false
-}
-
 // TransientSpec expresses the transient experiment as enumerable runner
 // shards, one per (trial, protocol) pair ordered trial-major. The
 // workload of trial t is derived from (Seed, streamWorkload, t) — shared
@@ -255,7 +143,7 @@ func TransientSpec(opts TransientOpts) (runner.Spec[TrialOutcome], error) {
 		return runner.Spec[TrialOutcome]{}, fmt.Errorf("experiments: nil topology")
 	}
 	opts = opts.normalized()
-	multihomed := multihomedList(opts.G)
+	multihomed := scenario.Multihomed(opts.G)
 	protos := opts.Protocols
 	return runner.Spec[TrialOutcome]{
 		Name:   fmt.Sprintf("transient(%v)", opts.Scenario),
@@ -276,7 +164,7 @@ func TransientSpec(opts TransientOpts) (runner.Spec[TrialOutcome], error) {
 // protocol through it with engSeed driving the engine.
 func runTransientShard(g *topology.Graph, params sim.Params, sc Scenario, multihomed []topology.ASN,
 	trial int, proto Protocol, wlSeed, engSeed int64) (TrialOutcome, error) {
-	fs, err := pickFailure(g, multihomed, sc, rand.New(rand.NewSource(wlSeed)))
+	fs, err := scenario.Pick(g, multihomed, sc, rand.New(rand.NewSource(wlSeed)))
 	if err != nil {
 		return TrialOutcome{}, err
 	}
@@ -389,8 +277,8 @@ func RunTransient(opts TransientOpts) (*TransientResult, error) {
 // data plane throughout re-convergence, and counts ASes that both
 // experienced a transient problem and are fine once converged (problems
 // of permanently disconnected ASes are not transient).
-func runOneTrial(g *topology.Graph, params sim.Params, proto Protocol, fs failureSet, seed int64) (TrialOutcome, error) {
-	in := buildInstance(proto, g, params, seed, fs.dest, nil)
+func runOneTrial(g *topology.Graph, params sim.Params, proto Protocol, fs scenario.Set, seed int64) (TrialOutcome, error) {
+	in := buildInstance(proto, g, params, seed, fs.Dest, nil)
 	if _, err := in.e.Run(); err != nil {
 		return TrialOutcome{}, fmt.Errorf("initial convergence: %w", err)
 	}
@@ -426,10 +314,10 @@ func runOneTrial(g *topology.Graph, params sim.Params, proto Protocol, fs failur
 		})
 	})
 	lastChange = t0
-	if fs.node >= 0 {
-		in.net.FailNode(fs.node)
+	if fs.Node >= 0 {
+		in.net.FailNode(fs.Node)
 	}
-	for _, l := range fs.links {
+	for _, l := range fs.Links {
 		if err := in.net.FailLink(l[0], l[1]); err != nil {
 			return TrialOutcome{}, err
 		}

@@ -1,0 +1,114 @@
+package netd
+
+import (
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"stamp/internal/topology"
+	"stamp/internal/wire"
+)
+
+// waitGoroutines polls until the goroutine count drops to at most want.
+func waitGoroutines(t *testing.T, want int) int {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for time.Now().Before(deadline) {
+		n = runtime.NumGoroutine()
+		if n <= want {
+			return n
+		}
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+	return n
+}
+
+// TestSpeakerCloseNoGoroutineLeak opens and closes a full speaker pair
+// 100 times and checks that the goroutine count returns to (about) its
+// starting point: Close must tear down sessions, reader/keepalive
+// goroutines, and the accept loop every cycle.
+func TestSpeakerCloseNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	pfx := wire.MustPrefix("203.0.113.0/24")
+	for i := 0; i < 100; i++ {
+		a := NewSpeaker(SpeakerConfig{AS: 64512, RouterID: 1, Color: 0})
+		b := NewSpeaker(SpeakerConfig{AS: 64513, RouterID: 2, Color: 0})
+		addr, err := b.Listen("127.0.0.1:0", map[uint16]Rel{64512: topology.RelCustomer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Dial(addr.String(), 64513, topology.RelProvider); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.WaitEstablished(64513, 3*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		a.Originate(pfx, 0)
+		a.Close()
+		b.Close()
+	}
+	// A few runtime-internal goroutines (netpoller, GC workers) may have
+	// started lazily; anything beyond that is a leak of ~hundreds here.
+	if after := waitGoroutines(t, before+8); after > before+8 {
+		t.Fatalf("goroutines grew from %d to %d after 100 open/close cycles", before, after)
+	}
+}
+
+// TestSpeakerCloseKillsHandshakingSessions: a session that never
+// completes its handshake (the far side sends nothing) must still be torn
+// down by Close — it is tracked from birth, not from establishment.
+func TestSpeakerCloseKillsHandshakingSessions(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		// A raw listener that accepts and then stays silent, so the
+		// speaker's dialed session hangs in OpenSent.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Hold the conn open without ever writing an OPEN.
+			buf := make([]byte, 256)
+			for {
+				if _, err := conn.Read(buf); err != nil {
+					conn.Close()
+					return
+				}
+			}
+		}()
+		sp := NewSpeaker(SpeakerConfig{AS: 64512, RouterID: 1, HoldTime: time.Hour})
+		if err := sp.Dial(ln.Addr().String(), 64513, topology.RelProvider); err != nil {
+			t.Fatal(err)
+		}
+		sp.Close() // must not wait for the hour-long hold timer
+		ln.Close()
+	}
+	if after := waitGoroutines(t, before+8); after > before+8 {
+		t.Fatalf("goroutines grew from %d to %d: mid-handshake sessions leaked", before, after)
+	}
+}
+
+// TestSpeakerDialAfterCloseRejected pins the lifecycle contract.
+func TestSpeakerDialAfterCloseRejected(t *testing.T) {
+	b := NewSpeaker(SpeakerConfig{AS: 64513, RouterID: 2})
+	addr, err := b.Listen("127.0.0.1:0", map[uint16]Rel{64512: topology.RelCustomer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a := NewSpeaker(SpeakerConfig{AS: 64512, RouterID: 1})
+	a.Close()
+	if err := a.Dial(addr.String(), 64513, topology.RelProvider); err == nil {
+		t.Error("Dial on a closed speaker succeeded")
+	}
+	if _, err := a.Listen("127.0.0.1:0", nil); err == nil {
+		t.Error("Listen on a closed speaker succeeded")
+	}
+}

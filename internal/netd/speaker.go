@@ -48,23 +48,50 @@ type Speaker struct {
 	cfg SpeakerConfig
 
 	mu       sync.Mutex
-	peers    map[uint16]*peerConn // by peer AS
+	peers    map[uint16]*peerConn  // by peer AS
+	sessions map[*Session]struct{} // every live session, established or not
 	ribIn    map[string]map[uint16]*route
 	origin   map[string]wire.Prefix // locally originated prefixes
 	lockTo   uint16                 // provider AS receiving locked blue (0 = none chosen)
 	ln       net.Listener
 	closed   bool
+	wg       sync.WaitGroup                             // session and accept goroutines
 	OnChange func(prefix wire.Prefix, best *wire.Attrs) // fires on best-route changes
 }
 
 // NewSpeaker builds an idle speaker.
 func NewSpeaker(cfg SpeakerConfig) *Speaker {
 	return &Speaker{
-		cfg:    cfg,
-		peers:  make(map[uint16]*peerConn),
-		ribIn:  make(map[string]map[uint16]*route),
-		origin: make(map[string]wire.Prefix),
+		cfg:      cfg,
+		peers:    make(map[uint16]*peerConn),
+		sessions: make(map[*Session]struct{}),
+		ribIn:    make(map[string]map[uint16]*route),
+		origin:   make(map[string]wire.Prefix),
 	}
+}
+
+// track registers a session for shutdown and reserves goroutines slots
+// on the speaker's WaitGroup — inside the same critical section as the
+// closed check, so Close's Wait can never race a zero-counter Add. It
+// reports false — and the caller must abandon the session without
+// spawning anything — when the speaker is already closed, so sessions
+// born during Close cannot escape teardown. goroutines is 0 when the
+// calling goroutine is already counted (the accept path).
+func (sp *Speaker) track(s *Session, goroutines int) bool {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.closed {
+		return false
+	}
+	sp.sessions[s] = struct{}{}
+	sp.wg.Add(goroutines)
+	return true
+}
+
+func (sp *Speaker) untrack(s *Session) {
+	sp.mu.Lock()
+	delete(sp.sessions, s)
+	sp.mu.Unlock()
 }
 
 func (sp *Speaker) logf(format string, args ...any) {
@@ -88,15 +115,26 @@ func (sp *Speaker) Listen(addr string, expect map[uint16]Rel) (net.Addr, error) 
 		return nil, err
 	}
 	sp.mu.Lock()
+	if sp.closed {
+		sp.mu.Unlock()
+		_ = ln.Close()
+		return nil, fmt.Errorf("netd: speaker is closed")
+	}
 	sp.ln = ln
+	sp.wg.Add(1)
 	sp.mu.Unlock()
 	go func() {
+		defer sp.wg.Done()
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
 				return
 			}
-			go sp.serve(conn, expect)
+			sp.wg.Add(1)
+			go func() {
+				defer sp.wg.Done()
+				sp.serve(conn, expect)
+			}()
 		}
 	}()
 	return ln.Addr(), nil
@@ -132,7 +170,12 @@ func (sp *Speaker) serve(conn net.Conn, expect map[uint16]Rel) {
 			}
 		},
 	}, conn)
+	if !sp.track(sess, 0) {
+		_ = conn.Close()
+		return
+	}
 	_ = sess.Run()
+	sp.untrack(sess)
 }
 
 // Dial connects to a peer at addr with the given relationship (from our
@@ -163,22 +206,33 @@ func (sp *Speaker) Dial(addr string, peerAS uint16, rel Rel) error {
 			}
 		},
 	}, conn)
-	go func() { _ = sess.Run() }()
+	if !sp.track(sess, 1) {
+		_ = conn.Close()
+		return fmt.Errorf("netd: speaker is closed")
+	}
+	go func() {
+		defer sp.wg.Done()
+		_ = sess.Run()
+		sp.untrack(sess)
+	}()
 	return nil
 }
 
-// Close shuts down all sessions and the listener.
+// Close shuts down the listener and every session — established or still
+// mid-handshake — and waits for all reader, writer, and accept goroutines
+// to exit, so a closed speaker leaks nothing. It is idempotent.
 func (sp *Speaker) Close() {
 	sp.mu.Lock()
 	if sp.closed {
 		sp.mu.Unlock()
+		sp.wg.Wait()
 		return
 	}
 	sp.closed = true
 	ln := sp.ln
-	var sessions []*Session
-	for _, pc := range sp.peers {
-		sessions = append(sessions, pc.sess)
+	sessions := make([]*Session, 0, len(sp.sessions))
+	for s := range sp.sessions {
+		sessions = append(sessions, s)
 	}
 	sp.mu.Unlock()
 	if ln != nil {
@@ -187,6 +241,7 @@ func (sp *Speaker) Close() {
 	for _, s := range sessions {
 		_ = s.Close()
 	}
+	sp.wg.Wait()
 }
 
 // WaitEstablished blocks until a session with peerAS is up or the timeout

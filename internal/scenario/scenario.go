@@ -1,0 +1,171 @@
+// Package scenario is the single source of failure workloads shared by
+// the discrete-event simulator (internal/sim via internal/experiments)
+// and the live emulation (internal/emu): the paper's §6.2 failure kinds,
+// the random workload picker that instantiates them on a topology, and a
+// small scripting layer (events at scheduled offsets) that both engines
+// execute — the simulator in virtual time, the emulation in wall-clock
+// time. Keeping one scenario type here is what makes sim-vs-live
+// differential validation meaningful: both sides face byte-identical
+// workloads.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stamp/internal/topology"
+)
+
+// Kind selects the failure workload of §6.2.
+type Kind int
+
+const (
+	// SingleLink fails one provider link of the (multi-homed)
+	// destination AS — Figure 2.
+	SingleLink Kind = iota
+	// TwoLinksApart fails a provider link of the destination and an
+	// indirect provider link multiple hops away, not sharing any AS —
+	// Figure 3(a).
+	TwoLinksApart
+	// TwoLinksShared fails a provider link of the destination and a
+	// provider link of that same provider — Figure 3(b).
+	TwoLinksShared
+	// NodeFailure fails an entire provider AS of the destination (the
+	// paper's single-node-failure variant).
+	NodeFailure
+)
+
+// String names the kind as in the paper's figures.
+func (k Kind) String() string {
+	switch k {
+	case SingleLink:
+		return "single link failure"
+	case TwoLinksApart:
+		return "two link failures (no shared AS)"
+	case TwoLinksShared:
+		return "two link failures (shared AS)"
+	case NodeFailure:
+		return "single node failure"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// MarshalText renders the kind by name in JSON reports.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// ParseKind maps the CLI spelling of a failure kind to its value.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "single-link", "link-failure":
+		return SingleLink, nil
+	case "two-links-apart":
+		return TwoLinksApart, nil
+	case "two-links-shared":
+		return TwoLinksShared, nil
+	case "node-failure":
+		return NodeFailure, nil
+	}
+	return 0, fmt.Errorf("unknown scenario %q (want single-link, two-links-apart, two-links-shared, or node-failure)", s)
+}
+
+// Set is one instantiated workload: the destination plus the links to
+// fail (for node failure, Node >= 0 instead).
+type Set struct {
+	Dest  topology.ASN
+	Links [][2]topology.ASN
+	Node  topology.ASN
+}
+
+// Multihomed enumerates candidate destination ASes once per run so trial
+// shards don't rescan the topology.
+func Multihomed(g *topology.Graph) []topology.ASN {
+	var out []topology.ASN
+	for a := 0; a < g.Len(); a++ {
+		if g.IsMultihomed(topology.ASN(a)) {
+			out = append(out, topology.ASN(a))
+		}
+	}
+	return out
+}
+
+// Pick draws a destination and failure set for the kind. multihomed is
+// the candidate destination list (Multihomed(g)); the same rng sequence
+// always yields the same workload.
+func Pick(g *topology.Graph, multihomed []topology.ASN, k Kind, rng *rand.Rand) (Set, error) {
+	if len(multihomed) == 0 {
+		return Set{}, fmt.Errorf("scenario: topology has no multi-homed AS")
+	}
+	const maxTries = 1000
+	for try := 0; try < maxTries; try++ {
+		dest := multihomed[rng.Intn(len(multihomed))]
+		provs := g.Providers(dest)
+		p := provs[rng.Intn(len(provs))]
+		fs := Set{Dest: dest, Node: -1}
+		switch k {
+		case SingleLink:
+			fs.Links = [][2]topology.ASN{{dest, p}}
+			return fs, nil
+		case NodeFailure:
+			fs.Node = p
+			return fs, nil
+		case TwoLinksShared:
+			pp := g.Providers(p)
+			if len(pp) == 0 {
+				continue // p is tier-1; resample
+			}
+			fs.Links = [][2]topology.ASN{{dest, p}, {p, pp[rng.Intn(len(pp))]}}
+			return fs, nil
+		case TwoLinksApart:
+			link2, ok := pickIndirectProviderLink(g, dest, p, rng)
+			if !ok {
+				continue
+			}
+			fs.Links = [][2]topology.ASN{{dest, p}, link2}
+			return fs, nil
+		}
+	}
+	return Set{}, fmt.Errorf("scenario: could not build %v workload", k)
+}
+
+// pickIndirectProviderLink random-walks up the provider hierarchy from
+// the destination and returns a customer-provider link at least one hop
+// away whose endpoints avoid both the destination and its failed provider
+// p (the "not connected to the same AS" condition of Figure 3(a)).
+func pickIndirectProviderLink(g *topology.Graph, dest, p topology.ASN, rng *rand.Rand) ([2]topology.ASN, bool) {
+	for attempt := 0; attempt < 50; attempt++ {
+		provs := g.Providers(dest)
+		v := provs[rng.Intn(len(provs))]
+		if v == p {
+			continue
+		}
+		// Climb a random number of additional steps, then fail the next
+		// link up.
+		steps := rng.Intn(2)
+		ok := true
+		for i := 0; i < steps; i++ {
+			up := g.Providers(v)
+			if len(up) == 0 {
+				ok = false
+				break
+			}
+			v = up[rng.Intn(len(up))]
+			if v == p || v == dest {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		up := g.Providers(v)
+		if len(up) == 0 {
+			continue
+		}
+		w := up[rng.Intn(len(up))]
+		if w == p || w == dest || v == p || v == dest {
+			continue
+		}
+		return [2]topology.ASN{v, w}, true
+	}
+	return [2]topology.ASN{}, false
+}

@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"stamp/internal/topology"
+)
+
+func testGraph(t *testing.T) *topology.Graph {
+	t.Helper()
+	g, err := topology.GenerateDefault(120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPickDeterministic(t *testing.T) {
+	g := testGraph(t)
+	mh := Multihomed(g)
+	for _, k := range []Kind{SingleLink, TwoLinksApart, TwoLinksShared, NodeFailure} {
+		a, err := Pick(g, mh, k, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		b, err := Pick(g, mh, k, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Dest != b.Dest || a.Node != b.Node || len(a.Links) != len(b.Links) {
+			t.Errorf("%v: same seed gave different workloads: %+v vs %+v", k, a, b)
+		}
+		if !g.IsMultihomed(a.Dest) {
+			t.Errorf("%v: destination %d is not multi-homed", k, a.Dest)
+		}
+		for _, l := range a.Links {
+			if g.Rel(l[0], l[1]) == topology.RelNone {
+				t.Errorf("%v: failure link %v not in topology", k, l)
+			}
+		}
+	}
+}
+
+func TestNamedScripts(t *testing.T) {
+	g := testGraph(t)
+	for _, name := range Names() {
+		s, err := Named(name, g, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Dest < 0 || int(s.Dest) >= g.Len() {
+			t.Errorf("%s: bad destination %d", name, s.Dest)
+		}
+		if len(s.Events) == 0 {
+			t.Errorf("%s: no events", name)
+		}
+	}
+	if _, err := Named("no-such-scenario", g, 1); err == nil {
+		t.Error("unknown script name accepted")
+	}
+}
+
+func TestScriptSorted(t *testing.T) {
+	s := Script{Events: []Event{
+		{At: 2 * time.Second, Op: OpRestoreLink, A: 1, B: 2},
+		{At: 0, Op: OpFailLink, A: 1, B: 2},
+	}}
+	got := s.Sorted()
+	if got[0].Op != OpFailLink || got[1].Op != OpRestoreLink {
+		t.Errorf("events not sorted by offset: %v", got)
+	}
+	// Sorted must not mutate the script itself.
+	if s.Events[0].Op != OpRestoreLink {
+		t.Error("Sorted mutated the original event slice")
+	}
+}
+
+// execRecorder records applied ops for Apply tests.
+type execRecorder struct{ ops []Op }
+
+func (r *execRecorder) FailLink(a, b topology.ASN) error {
+	r.ops = append(r.ops, OpFailLink)
+	return nil
+}
+func (r *execRecorder) RestoreLink(a, b topology.ASN) error {
+	r.ops = append(r.ops, OpRestoreLink)
+	return nil
+}
+func (r *execRecorder) FailNode(a topology.ASN) error { r.ops = append(r.ops, OpFailNode); return nil }
+func (r *execRecorder) Withdraw(d topology.ASN) error { r.ops = append(r.ops, OpWithdraw); return nil }
+
+func TestApplyDispatch(t *testing.T) {
+	rec := &execRecorder{}
+	evs := []Event{
+		{Op: OpFailLink, A: 1, B: 2},
+		{Op: OpRestoreLink, A: 1, B: 2},
+		{Op: OpFailNode, Node: 3},
+		{Op: OpWithdraw, Node: 4},
+	}
+	for _, e := range evs {
+		if err := Apply(rec, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []Op{OpFailLink, OpRestoreLink, OpFailNode, OpWithdraw}
+	for i, op := range want {
+		if rec.ops[i] != op {
+			t.Errorf("op %d = %v, want %v", i, rec.ops[i], op)
+		}
+	}
+}

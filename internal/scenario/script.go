@@ -1,0 +1,161 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"stamp/internal/topology"
+)
+
+// Op is one scripted action kind.
+type Op int
+
+const (
+	// OpFailLink takes the link {A, B} down.
+	OpFailLink Op = iota
+	// OpRestoreLink brings the failed link {A, B} back up.
+	OpRestoreLink
+	// OpFailNode fails every link adjacent to Node.
+	OpFailNode
+	// OpWithdraw withdraws the prefix originated at Node.
+	OpWithdraw
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpFailLink:
+		return "fail-link"
+	case OpRestoreLink:
+		return "restore-link"
+	case OpFailNode:
+		return "fail-node"
+	case OpWithdraw:
+		return "withdraw"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Event is one scripted action at an offset from script start. Offsets
+// are virtual time for the simulator and wall-clock time for the live
+// emulation; scripts keep them small enough that both interpretations
+// land after the previous event's convergence.
+type Event struct {
+	At   time.Duration
+	Op   Op
+	A, B topology.ASN // link endpoints (OpFailLink, OpRestoreLink)
+	Node topology.ASN // subject AS (OpFailNode, OpWithdraw)
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	switch e.Op {
+	case OpFailLink, OpRestoreLink:
+		return fmt.Sprintf("%v@%v(%d--%d)", e.Op, e.At, e.A, e.B)
+	default:
+		return fmt.Sprintf("%v@%v(%d)", e.Op, e.At, e.Node)
+	}
+}
+
+// Script is a complete workload: the destination AS that originates the
+// prefix, plus the failure events to inject after initial convergence.
+type Script struct {
+	Name   string
+	Dest   topology.ASN
+	Events []Event
+}
+
+// Sorted returns the events ordered by offset (stable for equal offsets).
+func (s Script) Sorted() []Event {
+	out := append([]Event(nil), s.Events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Executor is what a script runs against: the simulator's network and the
+// live fabric both implement it.
+type Executor interface {
+	FailLink(a, b topology.ASN) error
+	RestoreLink(a, b topology.ASN) error
+	FailNode(a topology.ASN) error
+	Withdraw(dest topology.ASN) error
+}
+
+// Apply executes one event against an executor.
+func Apply(x Executor, e Event) error {
+	switch e.Op {
+	case OpFailLink:
+		return x.FailLink(e.A, e.B)
+	case OpRestoreLink:
+		return x.RestoreLink(e.A, e.B)
+	case OpFailNode:
+		return x.FailNode(e.Node)
+	case OpWithdraw:
+		return x.Withdraw(e.Node)
+	}
+	return fmt.Errorf("scenario: unknown op %v", e.Op)
+}
+
+// FromSet turns a picked failure set into a script: all failures injected
+// at offset zero, exactly like the simulator's transient experiments.
+func FromSet(name string, s Set) Script {
+	sc := Script{Name: name, Dest: s.Dest}
+	if s.Node >= 0 {
+		sc.Events = append(sc.Events, Event{Op: OpFailNode, Node: s.Node})
+	}
+	for _, l := range s.Links {
+		sc.Events = append(sc.Events, Event{Op: OpFailLink, A: l[0], B: l[1]})
+	}
+	return sc
+}
+
+// FlapRestoreAfter is the restore offset used by the link-flap script.
+const FlapRestoreAfter = 250 * time.Millisecond
+
+// Names lists the script names Named accepts.
+func Names() []string {
+	return []string{
+		"link-failure", "single-link", "two-links-apart", "two-links-shared",
+		"node-failure", "link-flap", "prefix-withdraw",
+	}
+}
+
+// Named builds a script by CLI name on a topology, with workload
+// randomness drawn from seed: the four §6.2 failure kinds, "link-flap"
+// (fail one destination provider link, restore it FlapRestoreAfter
+// later), and "prefix-withdraw" (the origin withdraws its prefix).
+func Named(name string, g *topology.Graph, seed int64) (Script, error) {
+	rng := rand.New(rand.NewSource(seed))
+	mh := Multihomed(g)
+	switch name {
+	case "link-flap":
+		set, err := Pick(g, mh, SingleLink, rng)
+		if err != nil {
+			return Script{}, err
+		}
+		l := set.Links[0]
+		return Script{Name: name, Dest: set.Dest, Events: []Event{
+			{Op: OpFailLink, A: l[0], B: l[1]},
+			{At: FlapRestoreAfter, Op: OpRestoreLink, A: l[0], B: l[1]},
+		}}, nil
+	case "prefix-withdraw":
+		if len(mh) == 0 {
+			return Script{}, fmt.Errorf("scenario: topology has no multi-homed AS")
+		}
+		dest := mh[rng.Intn(len(mh))]
+		return Script{Name: name, Dest: dest, Events: []Event{
+			{Op: OpWithdraw, Node: dest},
+		}}, nil
+	}
+	k, err := ParseKind(name)
+	if err != nil {
+		return Script{}, fmt.Errorf("%w (or link-flap, prefix-withdraw)", err)
+	}
+	set, err := Pick(g, mh, k, rng)
+	if err != nil {
+		return Script{}, err
+	}
+	return FromSet(name, set), nil
+}

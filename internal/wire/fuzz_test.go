@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal drives the framed-message decoder with arbitrary bytes
+// (mirroring internal/bgp's speaker fuzz) and checks the codec's closure
+// property: anything the decoder accepts must re-marshal successfully,
+// and one marshal pass must be a fixed point —
+//
+//	Unmarshal(b) = m  ⇒  Marshal(m) = b′, Unmarshal(b′) = m′, Marshal(m′) = b′
+//
+// b′ may differ from b (attribute order, extended-length flags, and
+// split AS_SEQUENCE segments are normalized; duplicate attributes
+// collapse last-wins), but b′ is canonical. Run long with
+//
+//	go test -fuzz=FuzzUnmarshal ./internal/wire/
+func FuzzUnmarshal(f *testing.F) {
+	seed := func(m Message) {
+		b, err := Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	seed(NewOpen(64512, 90, 1, 1))
+	seed(&Keepalive{})
+	seed(&Notification{Code: 6, Subcode: 0, Data: []byte("bye")})
+	seed(&Update{
+		Withdrawn: []Prefix{MustPrefix("192.0.2.0/24")},
+		Attrs: Attrs{
+			HasOrigin: true,
+			ASPath:    []uint16{64512, 64513, 64514},
+			Lock:      true,
+			HasET:     true, ET: 0,
+			HasColor: true, Color: 1,
+			Unknown: []RawAttr{{Flags: FlagOptional | FlagTransitive, Type: 99, Value: []byte{1, 2, 3}}},
+		},
+		NLRI: []Prefix{MustPrefix("198.51.100.0/24"), MustPrefix("10.0.0.0/8")},
+	})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Unmarshal(b)
+		if err != nil {
+			return // rejected input is fine; no panic is the property
+		}
+		b2, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("decoder accepted a message the encoder rejects: %v\ninput: %x", err, b)
+		}
+		m2, err := Unmarshal(b2)
+		if err != nil {
+			t.Fatalf("re-unmarshal of canonical encoding failed: %v\ncanonical: %x", err, b2)
+		}
+		b3, err := Marshal(m2)
+		if err != nil {
+			t.Fatalf("re-marshal of canonical message failed: %v", err)
+		}
+		if !bytes.Equal(b2, b3) {
+			t.Fatalf("marshal not a fixed point:\nfirst:  %x\nsecond: %x", b2, b3)
+		}
+	})
+}

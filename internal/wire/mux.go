@@ -1,0 +1,268 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// Mux multiplexes independent byte streams over one net.Conn, so a
+// single in-memory pipe (or socket) can carry both of a STAMP router
+// pair's sessions — red and blue — without doubling the transport count.
+// Frames are [stream id (1)][length (2, big endian)][payload]; each
+// stream behaves like an ordered, reliable byte pipe and implements
+// net.Conn, including read deadlines (which the netd session hold timer
+// relies on).
+//
+// The receive path is never blocked by a slow stream: a dedicated reader
+// goroutine drains the underlying conn into per-stream buffers, which is
+// what keeps symmetric handshakes over unbuffered transports like
+// net.Pipe deadlock-free.
+type Mux struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	streams map[byte]*MuxStream
+	err     error
+}
+
+// maxMuxFrame bounds one frame's payload (the length field is 16 bits).
+const maxMuxFrame = 0xFFFF
+
+// ErrStreamClosed is returned by operations on a closed mux stream.
+var ErrStreamClosed = errors.New("wire: mux stream closed")
+
+// NewMux wraps conn and creates one stream per id, then starts the
+// shared reader. All streams must be declared up front; frames arriving
+// for undeclared ids terminate the mux (they indicate a framing bug, not
+// recoverable input).
+func NewMux(conn net.Conn, ids ...byte) *Mux {
+	m := &Mux{conn: conn, streams: make(map[byte]*MuxStream, len(ids))}
+	for _, id := range ids {
+		m.streams[id] = &MuxStream{
+			id:  id,
+			m:   m,
+			sig: make(chan struct{}, 1),
+		}
+	}
+	go m.readLoop()
+	return m
+}
+
+// Stream returns the stream with the given id (nil if not declared).
+func (m *Mux) Stream(id byte) *MuxStream {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.streams[id]
+}
+
+// Close tears down the underlying conn; all streams fail with the
+// close error.
+func (m *Mux) Close() error {
+	err := m.conn.Close()
+	m.fail(net.ErrClosed)
+	return err
+}
+
+// fail records the terminal error and wakes every stream.
+func (m *Mux) fail(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	streams := m.streams
+	m.mu.Unlock()
+	for _, s := range streams {
+		s.wake()
+	}
+}
+
+func (m *Mux) readLoop() {
+	hdr := make([]byte, 3)
+	for {
+		if _, err := io.ReadFull(m.conn, hdr); err != nil {
+			m.fail(err)
+			return
+		}
+		id := hdr[0]
+		n := int(binary.BigEndian.Uint16(hdr[1:]))
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(m.conn, payload); err != nil {
+			m.fail(err)
+			return
+		}
+		m.mu.Lock()
+		s := m.streams[id]
+		m.mu.Unlock()
+		if s == nil {
+			m.fail(fmt.Errorf("wire: mux frame for undeclared stream %d", id))
+			return
+		}
+		s.push(payload)
+	}
+}
+
+// writeFrame sends one frame for stream id.
+func (m *Mux) writeFrame(id byte, p []byte) error {
+	m.mu.Lock()
+	err := m.err
+	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	hdr := []byte{id, 0, 0}
+	binary.BigEndian.PutUint16(hdr[1:], uint16(len(p)))
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	if _, err := m.conn.Write(hdr); err != nil {
+		return err
+	}
+	_, err = m.conn.Write(p)
+	return err
+}
+
+// MuxStream is one logical stream of a Mux. It implements net.Conn.
+type MuxStream struct {
+	id byte
+	m  *Mux
+
+	mu       sync.Mutex
+	q        [][]byte // frames not yet consumed
+	partial  []byte   // remainder of a partly read frame
+	deadline time.Time
+	closed   bool
+
+	sig chan struct{} // cap 1: new data / state change
+}
+
+// push appends an inbound frame (called by the mux reader only).
+func (s *MuxStream) push(p []byte) {
+	s.mu.Lock()
+	s.q = append(s.q, p)
+	s.mu.Unlock()
+	s.wake()
+}
+
+func (s *MuxStream) wake() {
+	select {
+	case s.sig <- struct{}{}:
+	default:
+	}
+}
+
+// Read returns buffered stream bytes, blocking until data arrives, the
+// deadline passes, or the stream/mux dies. Buffered data is delivered
+// before the terminal error, like TCP.
+func (s *MuxStream) Read(p []byte) (int, error) {
+	for {
+		s.mu.Lock()
+		if len(s.partial) == 0 && len(s.q) > 0 {
+			s.partial = s.q[0]
+			s.q = s.q[1:]
+		}
+		if len(s.partial) > 0 {
+			n := copy(p, s.partial)
+			s.partial = s.partial[n:]
+			s.mu.Unlock()
+			return n, nil
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return 0, ErrStreamClosed
+		}
+		dl := s.deadline
+		s.mu.Unlock()
+
+		s.m.mu.Lock()
+		err := s.m.err
+		s.m.mu.Unlock()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return 0, io.EOF
+			}
+			return 0, err
+		}
+
+		var timerC <-chan time.Time
+		if !dl.IsZero() {
+			wait := time.Until(dl)
+			if wait <= 0 {
+				return 0, os.ErrDeadlineExceeded
+			}
+			t := time.NewTimer(wait)
+			timerC = t.C
+			select {
+			case <-s.sig:
+				t.Stop()
+			case <-timerC:
+			}
+			continue
+		}
+		<-s.sig
+	}
+}
+
+// Write frames p onto the shared conn, splitting frames larger than the
+// 16-bit length field allows.
+func (s *MuxStream) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return 0, ErrStreamClosed
+	}
+	total := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > maxMuxFrame {
+			n = maxMuxFrame
+		}
+		if err := s.m.writeFrame(s.id, p[:n]); err != nil {
+			return total, err
+		}
+		total += n
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// Close marks this stream closed locally. The underlying conn stays open
+// for sibling streams; protocols signal peers in-band (the netd session
+// sends a NOTIFICATION before closing), so no close frame is needed.
+func (s *MuxStream) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wake()
+	return nil
+}
+
+// SetReadDeadline arms the deadline for blocked and future Reads.
+func (s *MuxStream) SetReadDeadline(t time.Time) error {
+	s.mu.Lock()
+	s.deadline = t
+	s.mu.Unlock()
+	s.wake()
+	return nil
+}
+
+// SetWriteDeadline is a no-op: writes only block while the peer's mux
+// reader is alive but stalled, which the emulation's always-draining
+// reader rules out; once the conn dies writes fail immediately.
+func (s *MuxStream) SetWriteDeadline(time.Time) error { return nil }
+
+// SetDeadline arms the read deadline (writes are deadline-free).
+func (s *MuxStream) SetDeadline(t time.Time) error { return s.SetReadDeadline(t) }
+
+// LocalAddr reports the underlying conn's local address.
+func (s *MuxStream) LocalAddr() net.Addr { return s.m.conn.LocalAddr() }
+
+// RemoteAddr reports the underlying conn's remote address.
+func (s *MuxStream) RemoteAddr() net.Addr { return s.m.conn.RemoteAddr() }

@@ -1,0 +1,148 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// muxPair builds two muxes over a net.Pipe with streams 0 and 1.
+func muxPair() (*Mux, *Mux) {
+	ca, cb := net.Pipe()
+	return NewMux(ca, 0, 1), NewMux(cb, 0, 1)
+}
+
+func TestMuxIndependentStreams(t *testing.T) {
+	ma, mb := muxPair()
+	defer ma.Close()
+	defer mb.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		ma.Stream(0).Write([]byte("red-data"))
+	}()
+	go func() {
+		defer wg.Done()
+		ma.Stream(1).Write([]byte("blue-data"))
+	}()
+
+	// Read stream 1 first: stream 0's frame must not block it.
+	buf := make([]byte, 16)
+	n, err := io.ReadAtLeast(mb.Stream(1), buf, len("blue-data"))
+	if err != nil || string(buf[:n]) != "blue-data" {
+		t.Fatalf("stream 1 read = %q, %v", buf[:n], err)
+	}
+	n, err = io.ReadAtLeast(mb.Stream(0), buf, len("red-data"))
+	if err != nil || string(buf[:n]) != "red-data" {
+		t.Fatalf("stream 0 read = %q, %v", buf[:n], err)
+	}
+	wg.Wait()
+}
+
+func TestMuxCarriesSessionsMessages(t *testing.T) {
+	// A framed BGP message must survive the mux byte-stream intact.
+	ma, mb := muxPair()
+	defer ma.Close()
+	defer mb.Close()
+
+	msg, err := Marshal(&Update{
+		Attrs: Attrs{ASPath: []uint16{64512}, Lock: true, HasET: true, ET: 0},
+		NLRI:  []Prefix{MustPrefix("10.0.0.0/8")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ma.Stream(1).Write(msg)
+
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(mb.Stream(1), got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("message corrupted in transit")
+	}
+	m, err := Unmarshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := m.(*Update)
+	if !u.Attrs.Lock || !u.Attrs.HasET {
+		t.Errorf("STAMP attributes lost: %+v", u.Attrs)
+	}
+}
+
+func TestMuxReadDeadline(t *testing.T) {
+	ma, mb := muxPair()
+	defer ma.Close()
+	defer mb.Close()
+
+	s := mb.Stream(0)
+	if err := s.SetReadDeadline(time.Now().Add(30 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("read error = %v, want deadline exceeded", err)
+	}
+	// Clearing the deadline and supplying data resumes normal reads.
+	if err := s.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	go ma.Stream(0).Write([]byte{42})
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(s, buf); err != nil || buf[0] != 42 {
+		t.Fatalf("read after deadline clear = %v, %v", buf, err)
+	}
+}
+
+func TestMuxCloseDeliversBufferedDataFirst(t *testing.T) {
+	ma, mb := muxPair()
+	defer mb.Close()
+
+	if _, err := ma.Stream(0).Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	// Give the peer reader a moment to buffer the frame, then kill the
+	// underlying conn.
+	deadlineRead(t, mb.Stream(0), []byte("tail"))
+	ma.Close()
+	if _, err := mb.Stream(0).Read(make([]byte, 1)); !errors.Is(err, io.EOF) {
+		t.Fatalf("read after close = %v, want EOF", err)
+	}
+}
+
+func deadlineRead(t *testing.T, s *MuxStream, want []byte) {
+	t.Helper()
+	s.SetReadDeadline(time.Now().Add(2 * time.Second))
+	defer s.SetReadDeadline(time.Time{})
+	got := make([]byte, len(want))
+	if _, err := io.ReadFull(s, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read %q, want %q", got, want)
+	}
+}
+
+func TestMuxStreamCloseLeavesSibling(t *testing.T) {
+	ma, mb := muxPair()
+	defer ma.Close()
+	defer mb.Close()
+
+	if err := mb.Stream(0).Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mb.Stream(0).Read(make([]byte, 1)); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("closed stream read error = %v", err)
+	}
+	// Sibling stream still works in both directions.
+	go ma.Stream(1).Write([]byte("ok"))
+	deadlineRead(t, mb.Stream(1), []byte("ok"))
+}

@@ -282,6 +282,12 @@ func (a *Attrs) unmarshal(b []byte) error {
 	return nil
 }
 
+// maxASPathLen caps the decoded AS path. The marshaler emits a single
+// AS_SEQUENCE whose count field is one byte, so longer paths could be
+// decoded (across segments) but never re-encoded; rejecting them keeps
+// decode/encode a closed loop. Real paths are far shorter.
+const maxASPathLen = 255
+
 func unmarshalASPath(b []byte) ([]uint16, error) {
 	var path []uint16
 	for len(b) > 0 {
@@ -295,6 +301,9 @@ func unmarshalASPath(b []byte) ([]uint16, error) {
 		b = b[2:]
 		if len(b) < 2*count {
 			return nil, ErrBadLength
+		}
+		if len(path)+count > maxASPathLen {
+			return nil, fmt.Errorf("wire: AS path longer than %d", maxASPathLen)
 		}
 		for i := 0; i < count; i++ {
 			path = append(path, binary.BigEndian.Uint16(b[2*i:]))
