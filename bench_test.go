@@ -14,6 +14,7 @@ package stamp
 
 import (
 	"testing"
+	"time"
 
 	"stamp/internal/disjoint"
 	"stamp/internal/emu"
@@ -21,6 +22,7 @@ import (
 	"stamp/internal/scenario"
 	"stamp/internal/sim"
 	"stamp/internal/topology"
+	"stamp/internal/traffic"
 )
 
 const (
@@ -266,6 +268,92 @@ func BenchmarkEmuConvergence(b *testing.B) {
 		b.ReportMetric(res.ScenarioConvergence.Seconds()*1e3, "scenario-ms")
 		b.ReportMetric(float64(res.Stats.Sessions), "sessions")
 		b.ReportMetric(float64(res.Stats.Updates), "updates")
+	}
+}
+
+// BenchmarkTrafficWalk measures the packet engine's hot path: one full
+// multi-source classification of a 1000-AS forwarding snapshot, batched
+// (memoized, flat arrays — every walk state resolved once) vs naive
+// (per-packet hop-by-hop walking, the literal model). Two regimes: a
+// converged snapshot (short paths, where the naive model is adequate)
+// and a transient one with a routing loop between two tier-1s — the
+// snapshots the engine actually samples during failures, where naive
+// walking pays O(n) per looping source and the memoized walker's
+// O(states) bound is what keeps dense tick sampling cheap. The report
+// metric is packet-walks per second.
+func BenchmarkTrafficWalk(b *testing.B) {
+	g := benchGraph(b)
+	n := g.Len()
+	dest := topology.ASN(-1)
+	for a := 0; a < n; a++ {
+		if g.IsMultihomed(topology.ASN(a)) {
+			dest = topology.ASN(a)
+			break
+		}
+	}
+	routes := topology.StaticRoutes(g, dest)
+	next := make([]int32, n)
+	for a := 0; a < n; a++ {
+		switch {
+		case topology.ASN(a) == dest:
+			next[a] = int32(a)
+		case routes[a] == nil:
+			next[a] = -1
+		default:
+			next[a] = int32(routes[a][0])
+		}
+	}
+	// The transient variant mimics mutual staleness during a withdrawal
+	// wave: two tier-1s point at each other, so every source whose path
+	// crosses either one loops.
+	t1s := g.Tier1s()
+	if len(t1s) < 2 {
+		b.Fatal("bench topology has fewer than two tier-1s")
+	}
+	looped := append([]int32(nil), next...)
+	looped[t1s[0]], looped[t1s[1]] = int32(t1s[1]), int32(t1s[0])
+
+	var out traffic.Walk
+	for _, snap := range []struct {
+		name string
+		next []int32
+	}{{"converged", next}, {"transient-loop", looped}} {
+		b.Run(snap.name+"/batched", func(b *testing.B) {
+			var w traffic.Walker
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w.WalkSingle(snap.next, int32(dest), &out)
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "walks/s")
+		})
+		b.Run(snap.name+"/naive", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				traffic.NaiveWalkSingle(snap.next, int32(dest), &out)
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "walks/s")
+		})
+	}
+}
+
+// BenchmarkLossCurve measures one packet-level loss-curve trial end to
+// end (STAMP, single link failure, 2400 ticks of 25ms): the cost the
+// loss experiment pays per (trial, protocol) shard.
+func BenchmarkLossCurve(b *testing.B) {
+	g := benchGraph(b)
+	script, err := scenario.Named("link-failure", g, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		cur, err := traffic.RunSim(traffic.SimOpts{
+			G: g, Proto: traffic.STAMP, Script: script, Seed: int64(i),
+			Tick: 25 * time.Millisecond, Ticks: 2400,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(cur.LostPacketTicks), "lostPktTicks")
 	}
 }
 

@@ -1,0 +1,84 @@
+// Lossflap: watch the data plane ride out a flapping link. A provider
+// link of the destination fails and recovers twice; BGP re-converges
+// through every flap while STAMP's switch-once forwarding keeps packets
+// flowing. The packet-level traffic engine samples the forwarding tables
+// every 25ms of virtual time and prints the resulting loss curves.
+//
+//	go run ./examples/lossflap
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"stamp/internal/scenario"
+	"stamp/internal/topology"
+	"stamp/internal/traffic"
+)
+
+func main() {
+	g, err := topology.GenerateDefault(200, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	script, err := scenario.Named("link-flap", g, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l := script.Sorted()[0]
+	fmt.Printf("topology: %d ASes; flapping link %d--%d (%d fail/restore rounds) at destination AS%d\n\n",
+		g.Len(), l.A, l.B, scenario.FlapCycles, script.Dest)
+
+	curves := map[traffic.Protocol]*traffic.Curve{}
+	for _, proto := range []traffic.Protocol{traffic.BGP, traffic.STAMP} {
+		cur, err := traffic.RunSim(traffic.SimOpts{
+			G: g, Proto: proto, Script: script, Seed: 11,
+			Tick: 25 * time.Millisecond, Ticks: 1600, // a 40s window
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		curves[proto] = cur
+		fmt.Printf("%-6v lost %5d packet-ticks over the window, %3d sources ever affected\n",
+			proto, cur.LostPacketTicks, cur.EverAffected)
+	}
+
+	// Render the first two seconds — the flap rounds themselves — as a
+	// compact loss sparkline (each cell pools 50ms, '█' = many packets
+	// lost).
+	const cells, perCell = 40, 2
+	fmt.Printf("\nloss over the first %.1fs (one cell = %dms):\n",
+		float64(cells)*0.05, perCell*25)
+	for _, proto := range []traffic.Protocol{traffic.BGP, traffic.STAMP} {
+		c := curves[proto]
+		var b strings.Builder
+		for cell := 0; cell < cells; cell++ {
+			lost := 0.0
+			for i := 0; i < perCell; i++ {
+				lost += c.Lost.Sum(cell*perCell + i)
+			}
+			b.WriteRune(spark(lost / perCell))
+		}
+		fmt.Printf("  %-6v |%s|\n", proto, b.String())
+	}
+	fmt.Println("\nevery '█' is a window where packets injected at affected sources were dropped;")
+	fmt.Println("STAMP packets switch color once and keep flowing through the flaps (§5.1).")
+}
+
+// spark maps a mean lost-packet count to a bar glyph.
+func spark(lost float64) rune {
+	switch {
+	case lost == 0:
+		return ' '
+	case lost < 5:
+		return '░'
+	case lost < 20:
+		return '▒'
+	case lost < 50:
+		return '▓'
+	default:
+		return '█'
+	}
+}

@@ -1,0 +1,53 @@
+package emu
+
+import (
+	"stamp/internal/bgp"
+	"stamp/internal/topology"
+)
+
+// DataPlane is a flat snapshot of the whole fleet's forwarding state at
+// one wall-clock instant: per AS, the red and blue next hops (-1 when
+// that process has no usable route; the AS's own index when it is the
+// origin), the per-color instability flags of the ET mechanism, and the
+// color the AS stamps on locally sourced packets. It is the live-side
+// input of the traffic engine's batched data-plane walker — the transient
+// analogue of Tables, which only captures the converged control plane.
+type DataPlane struct {
+	NextRed, NextBlue         []int32
+	UnstableRed, UnstableBlue []bool
+	Pref                      []uint8 // 0 red, 1 blue
+}
+
+// DataPlane snapshots every router's forwarding state. Each router is
+// sampled under its own mutex, so per-AS state is internally consistent;
+// the fleet-wide snapshot is only instantaneous up to concurrent
+// convergence activity, which is exactly the transient the traffic
+// engine wants to observe.
+func (f *Fabric) DataPlane() *DataPlane {
+	n := f.g.Len()
+	dp := &DataPlane{
+		NextRed:      make([]int32, n),
+		NextBlue:     make([]int32, n),
+		UnstableRed:  make([]bool, n),
+		UnstableBlue: make([]bool, n),
+		Pref:         make([]uint8, n),
+	}
+	for a, r := range f.routers {
+		r.mu.Lock()
+		dp.NextRed[a] = nextHop32(r.node.NextHop(bgp.ColorRed))
+		dp.NextBlue[a] = nextHop32(r.node.NextHop(bgp.ColorBlue))
+		dp.UnstableRed[a] = r.node.Unstable(bgp.ColorRed)
+		dp.UnstableBlue[a] = r.node.Unstable(bgp.ColorBlue)
+		dp.Pref[a] = uint8(r.node.Preferred())
+		r.mu.Unlock()
+	}
+	return dp
+}
+
+// nextHop32 flattens a (next hop, ok) pair to the walker encoding.
+func nextHop32(nh topology.ASN, ok bool) int32 {
+	if !ok {
+		return -1
+	}
+	return int32(nh)
+}

@@ -1,0 +1,61 @@
+package emu
+
+import (
+	"testing"
+
+	"stamp/internal/bgp"
+)
+
+// TestDataPlaneMatchesTables: after convergence, the flat forwarding
+// snapshot must agree with the control-plane tables — a color has a next
+// hop exactly where it has a best path, the next hop is the path's first
+// AS (or the AS itself at the origin), and nothing is flagged unstable in
+// a quiescent fleet.
+func TestDataPlaneMatchesTables(t *testing.T) {
+	g := rigGraph(t)
+	f, err := New(Options{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	f.Originate(5)
+	if err := f.WaitConverged(); err != nil {
+		t.Fatal(err)
+	}
+	tables := f.Tables()
+	dp := f.DataPlane()
+
+	for a := 0; a < g.Len(); a++ {
+		for _, c := range []bgp.Color{bgp.ColorRed, bgp.ColorBlue} {
+			path := tables.Red[a]
+			next := dp.NextRed[a]
+			unstable := dp.UnstableRed[a]
+			if c == bgp.ColorBlue {
+				path, next, unstable = tables.Blue[a], dp.NextBlue[a], dp.UnstableBlue[a]
+			}
+			switch {
+			case path == nil:
+				if next != -1 {
+					t.Errorf("AS%d %v: no table route but next hop %d", a, c, next)
+				}
+			case len(path) == 0: // origin
+				if next != int32(a) {
+					t.Errorf("AS%d %v: origin next hop = %d, want self", a, c, next)
+				}
+			default:
+				if next != int32(path[0]) {
+					t.Errorf("AS%d %v: next hop %d != path head %d", a, c, next, path[0])
+				}
+			}
+			if path != nil && unstable {
+				t.Errorf("AS%d %v: flagged unstable in a quiescent fleet", a, c)
+			}
+		}
+		if pc := dp.Pref[a]; pc != uint8(bgp.ColorRed) && pc != uint8(bgp.ColorBlue) {
+			t.Errorf("AS%d: preferred color %d out of range", a, pc)
+		}
+	}
+}

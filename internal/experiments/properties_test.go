@@ -189,7 +189,7 @@ func TestLemma31RouteAddition(t *testing.T) {
 	check := func() {
 		st := in.classify()
 		for a := 0; a < n; a++ {
-			switch st[a] {
+			switch st[a].Status {
 			case forwarding.Loop:
 				problems++
 			case forwarding.Blackhole:
@@ -257,7 +257,7 @@ func TestLemma32UphillWithdrawal(t *testing.T) {
 			return
 		}
 		st := in.classify()
-		if st[src] != forwarding.Delivered {
+		if st[src].Status != forwarding.Delivered {
 			srcProblems++
 		}
 	})

@@ -136,7 +136,7 @@ func (in *instance) setTableChangeHook(fn func()) {
 }
 
 // classify runs the protocol-appropriate data-plane walker.
-func (in *instance) classify() []forwarding.Status {
+func (in *instance) classify() []forwarding.Result {
 	n := in.g.Len()
 	switch in.proto {
 	case ProtoBGP:

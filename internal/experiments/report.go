@@ -31,7 +31,7 @@ var paperAffected = map[Scenario]map[Protocol]int{
 // order, annotated with the paper's own numbers when available.
 func (r *TransientResult) Print(w io.Writer) {
 	fmt.Fprintf(w, "Transient problems under %v (%d trials)\n", r.Scenario, r.Trials)
-	t := metrics.NewTable("protocol", "mean affected ASes", "paper", "mean convergence", "updates", "withdrawals")
+	t := metrics.NewTable("protocol", "mean affected ASes", "paper", "mean convergence", "updates", "withdrawals", "stretch")
 	paper := paperAffected[r.Scenario]
 	for _, p := range AllProtocols() {
 		st, ok := r.Stats[p]
@@ -51,6 +51,7 @@ func (r *TransientResult) Print(w io.Writer) {
 			st.MeanConvergence.Round(time.Millisecond).String(),
 			fmt.Sprintf("%.0f", st.MeanUpdates),
 			fmt.Sprintf("%.0f", st.MeanWithdrawals),
+			stretchCell(st.MeanStretch),
 		)
 	}
 	// Render errors are impossible on the writers used here; surface them
@@ -58,6 +59,15 @@ func (r *TransientResult) Print(w io.Writer) {
 	if err := t.Render(w); err != nil {
 		fmt.Fprintf(w, "render error: %v\n", err)
 	}
+}
+
+// stretchCell renders a mean path-stretch value ("-" when no trial
+// produced a qualifying source).
+func stretchCell(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
 }
 
 // OverheadResult captures the §6.3 message overhead comparison.

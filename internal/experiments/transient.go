@@ -33,6 +33,11 @@ const (
 	// ScenarioNodeFailure fails an entire provider AS of the destination
 	// (the paper's single-node-failure variant).
 	ScenarioNodeFailure = scenario.NodeFailure
+	// ScenarioLinkFlap repeatedly fails and restores one destination
+	// provider link. Only the script-driven harnesses (loss curves, live
+	// emulation) support it; the Set-consuming transient/sweep harnesses
+	// reject it.
+	ScenarioLinkFlap = scenario.LinkFlap
 )
 
 // Seed-derivation stream labels. Workload randomness (which failure to
@@ -96,6 +101,13 @@ type ProtocolStats struct {
 	// InitialUpdates is the average message count of initial route
 	// propagation (used by the overhead experiment).
 	InitialUpdates float64
+	// MeanStretch is the average post-convergence path stretch: the
+	// unweighted mean over trials of each trial's per-source mean of
+	// (delivered hop count / pre-failure hop count), over sources
+	// delivered in both states (0 when no trial produced a qualifying
+	// source). Trials contribute equally regardless of how many sources
+	// qualified.
+	MeanStretch float64
 	// Affected holds per-trial affected counts, in trial order, for
 	// distribution analysis.
 	Affected []int
@@ -129,6 +141,11 @@ type TrialOutcome struct {
 	Updates        int64
 	Withdrawals    int64
 	InitialUpdates int64
+	// Stretch is the trial's mean post-convergence path stretch relative
+	// to the pre-failure paths; StretchValid is false when no source
+	// qualified (e.g. the destination became unreachable everywhere).
+	Stretch      float64
+	StretchValid bool
 }
 
 // TransientSpec expresses the transient experiment as enumerable runner
@@ -141,6 +158,9 @@ type TrialOutcome struct {
 func TransientSpec(opts TransientOpts) (runner.Spec[TrialOutcome], error) {
 	if opts.G == nil {
 		return runner.Spec[TrialOutcome]{}, fmt.Errorf("experiments: nil topology")
+	}
+	if opts.Scenario == scenario.LinkFlap {
+		return runner.Spec[TrialOutcome]{}, errLinkFlapUnsupported
 	}
 	opts = opts.normalized()
 	multihomed := scenario.Multihomed(opts.G)
@@ -160,10 +180,19 @@ func TransientSpec(opts TransientOpts) (runner.Spec[TrialOutcome], error) {
 	}, nil
 }
 
+// errLinkFlapUnsupported: the transient/sweep harnesses consume bare
+// failure Sets (all events at t=0, no restores), so a flap would
+// silently degrade to a mislabeled permanent single-link failure.
+var errLinkFlapUnsupported = fmt.Errorf(
+	"experiments: link-flap needs scripted restores; use the loss-curve harness (stampflood) or the live emulation")
+
 // runTransientShard regenerates trial's workload from wlSeed and runs one
 // protocol through it with engSeed driving the engine.
 func runTransientShard(g *topology.Graph, params sim.Params, sc Scenario, multihomed []topology.ASN,
 	trial int, proto Protocol, wlSeed, engSeed int64) (TrialOutcome, error) {
+	if sc == scenario.LinkFlap {
+		return TrialOutcome{}, errLinkFlapUnsupported
+	}
 	fs, err := scenario.Pick(g, multihomed, sc, rand.New(rand.NewSource(wlSeed)))
 	if err != nil {
 		return TrialOutcome{}, err
@@ -196,9 +225,9 @@ type transientAccum struct {
 }
 
 type protoAccum struct {
-	affected, convergence, updates, withdrawals, initial metrics.Accum
-	perTrial                                             []int
-	hist                                                 *metrics.Histogram
+	affected, convergence, updates, withdrawals, initial, stretch metrics.Accum
+	perTrial                                                      []int
+	hist                                                          *metrics.Histogram
 }
 
 func newTransientAccum(opts TransientOpts) *transientAccum {
@@ -227,6 +256,9 @@ func (a *transientAccum) merge(out TrialOutcome) *transientAccum {
 	st.updates.Add(float64(out.Updates))
 	st.withdrawals.Add(float64(out.Withdrawals))
 	st.initial.Add(float64(out.InitialUpdates))
+	if out.StretchValid {
+		st.stretch.Add(out.Stretch)
+	}
 	return a
 }
 
@@ -244,6 +276,9 @@ func (a *transientAccum) result(sc Scenario, trials int) *TransientResult {
 		}
 		if m := st.convergence.Mean(); !math.IsNaN(m) {
 			ps.MeanConvergence = time.Duration(m)
+		}
+		if m := st.stretch.Mean(); !math.IsNaN(m) {
+			ps.MeanStretch = m
 		}
 		res.Stats[p] = ps
 	}
@@ -283,6 +318,7 @@ func runOneTrial(g *topology.Graph, params sim.Params, proto Protocol, fs scenar
 		return TrialOutcome{}, fmt.Errorf("initial convergence: %w", err)
 	}
 	initialUpd, _ := in.messageCounts()
+	baseline := in.classify()
 
 	n := g.Len()
 	affectedAcc := make([]bool, n)
@@ -331,10 +367,11 @@ func runOneTrial(g *topology.Graph, params sim.Params, proto Protocol, fs scenar
 	final := in.classify()
 	affected := 0
 	for a := 0; a < n; a++ {
-		if affectedAcc[a] && final[a] == forwarding.Delivered {
+		if affectedAcc[a] && final[a].Status == forwarding.Delivered {
 			affected++
 		}
 	}
+	stretch, stretchOK := forwarding.MeanStretch(baseline, final)
 	upd, wd := in.messageCounts()
 	return TrialOutcome{
 		Affected:       affected,
@@ -342,5 +379,7 @@ func runOneTrial(g *topology.Graph, params sim.Params, proto Protocol, fs scenar
 		Updates:        upd - initialUpd,
 		Withdrawals:    wd,
 		InitialUpdates: initialUpd,
+		Stretch:        stretch,
+		StretchValid:   stretchOK,
 	}, nil
 }

@@ -1,10 +1,16 @@
 // Package forwarding classifies the data plane of a converging routing
 // system: for every AS it decides whether a packet originated there would
 // currently be delivered to the destination, caught in a forwarding loop,
-// or blackholed. The classifiers implement the paper's forwarding models:
+// or blackholed — and, for delivered packets, how many AS hops the
+// delivery took, so harnesses can report path stretch instead of
+// discarding it. The classifiers implement the paper's forwarding models:
 // plain next-hop walking for BGP, previous-hop-aware walking for R-BGP's
 // failover forwarding, and color-aware walking with the switch-once rule
 // for STAMP (§5.1).
+//
+// These walkers are callback-driven and allocate per call; the batched
+// flat-array walkers in internal/traffic cover the same semantics on the
+// packet-injection hot path and are equivalence-tested against these.
 package forwarding
 
 import (
@@ -37,6 +43,18 @@ func (s Status) String() string {
 	return "unknown"
 }
 
+// Result is the data-plane outcome for one packet source: its status
+// plus, when delivered, the AS-level hop count of the path the packet
+// actually took (0 for the destination itself, -1 for packets that never
+// arrive).
+type Result struct {
+	Status Status
+	Hops   int32
+}
+
+// NoHops marks a hop count with no meaning (looped or blackholed).
+const NoHops int32 = -1
+
 // Internal walk states: 0 unknown, 1 visiting, then done statuses offset
 // by doneBase.
 const (
@@ -45,39 +63,49 @@ const (
 	doneBase   uint8 = 2
 )
 
+// onward extends a next hop's outcome by one hop.
+func onward(r Result) Result {
+	if r.Status == Delivered {
+		return Result{Delivered, r.Hops + 1}
+	}
+	return r
+}
+
 // ClassifySingle walks the next-hop graph of a single-process protocol
 // (plain BGP). nextHop returns the forwarding neighbor of an AS (ok false
 // when it has no usable route; returning the AS itself means locally
-// delivered). The result has one status per AS.
+// delivered). The result has one outcome per AS.
 //
 // Memoization is sound because forwarding is deterministic: the outcome
 // from any AS is a function of the AS alone.
-func ClassifySingle(n int, dest topology.ASN, nextHop func(topology.ASN) (topology.ASN, bool)) []Status {
+func ClassifySingle(n int, dest topology.ASN, nextHop func(topology.ASN) (topology.ASN, bool)) []Result {
 	state := make([]uint8, n)
-	var walk func(v topology.ASN) Status
-	walk = func(v topology.ASN) Status {
+	hops := make([]int32, n)
+	var walk func(v topology.ASN) Result
+	walk = func(v topology.ASN) Result {
 		if s := state[v]; s >= doneBase {
-			return Status(s - doneBase)
+			return Result{Status(s - doneBase), hops[v]}
 		} else if s == stVisiting {
-			return Loop
+			return Result{Loop, NoHops}
 		}
 		state[v] = stVisiting
-		var st Status
+		var r Result
 		nh, ok := nextHop(v)
 		switch {
 		case v == dest:
-			st = Delivered
+			r = Result{Delivered, 0}
 		case !ok:
-			st = Blackhole
+			r = Result{Blackhole, NoHops}
 		case nh == v:
-			st = Delivered
+			r = Result{Delivered, 0}
 		default:
-			st = walk(nh)
+			r = onward(walk(nh))
 		}
-		state[v] = doneBase + uint8(st)
-		return st
+		state[v] = doneBase + uint8(r.Status)
+		hops[v] = r.Hops
+		return r
 	}
-	out := make([]Status, n)
+	out := make([]Result, n)
 	for v := 0; v < n; v++ {
 		out[v] = walk(topology.ASN(v))
 	}
@@ -88,39 +116,41 @@ func ClassifySingle(n int, dest topology.ASN, nextHop func(topology.ASN) (topolo
 // depends on the arriving interface, as in R-BGP where a packet arriving
 // from the AS's own next hop is deflected onto the failover path. nextHop
 // receives (current AS, previous AS or -1 for locally sourced packets).
-func ClassifyWithPrev(n int, dest topology.ASN, nextHop func(cur, prev topology.ASN) (topology.ASN, bool)) []Status {
+func ClassifyWithPrev(n int, dest topology.ASN, nextHop func(cur, prev topology.ASN) (topology.ASN, bool)) []Result {
 	// State key: cur*(n+1) + prev+1. Sparse, so a map is used, with the
 	// visiting sentinel folded in.
 	state := make(map[int64]uint8)
+	hops := make(map[int64]int32)
 	key := func(cur, prev topology.ASN) int64 {
 		return int64(cur)*int64(n+1) + int64(prev) + 1
 	}
-	var walk func(cur, prev topology.ASN) Status
-	walk = func(cur, prev topology.ASN) Status {
+	var walk func(cur, prev topology.ASN) Result
+	walk = func(cur, prev topology.ASN) Result {
 		if cur == dest {
-			return Delivered
+			return Result{Delivered, 0}
 		}
 		k := key(cur, prev)
 		if s := state[k]; s >= doneBase {
-			return Status(s - doneBase)
+			return Result{Status(s - doneBase), hops[k]}
 		} else if s == stVisiting {
-			return Loop
+			return Result{Loop, NoHops}
 		}
 		state[k] = stVisiting
-		var st Status
+		var r Result
 		nh, ok := nextHop(cur, prev)
 		switch {
 		case !ok:
-			st = Blackhole
+			r = Result{Blackhole, NoHops}
 		case nh == cur:
-			st = Delivered
+			r = Result{Delivered, 0}
 		default:
-			st = walk(nh, cur)
+			r = onward(walk(nh, cur))
 		}
-		state[k] = doneBase + uint8(st)
-		return st
+		state[k] = doneBase + uint8(r.Status)
+		hops[k] = r.Hops
+		return r
 	}
-	out := make([]Status, n)
+	out := make([]Result, n)
 	for v := 0; v < n; v++ {
 		out[v] = walk(topology.ASN(v), -1)
 	}
@@ -149,37 +179,39 @@ type RBGPState interface {
 // link of the failover path is alive — with RCI, stale failover paths
 // crossing failed links have been purged, so deflection almost always
 // succeeds; without RCI the packet can be pinned onto a dead path.
-func ClassifyRBGP(n int, dest topology.ASN, st RBGPState) []Status {
+func ClassifyRBGP(n int, dest topology.ASN, st RBGPState) []Result {
 	state := make(map[int64]uint8)
+	hops := make(map[int64]int32)
 	key := func(cur, prev topology.ASN) int64 {
 		return int64(cur)*int64(n+1) + int64(prev) + 1
 	}
-	var walk func(cur, prev topology.ASN) Status
-	walk = func(cur, prev topology.ASN) Status {
+	var walk func(cur, prev topology.ASN) Result
+	walk = func(cur, prev topology.ASN) Result {
 		if cur == dest {
-			return Delivered
+			return Result{Delivered, 0}
 		}
 		k := key(cur, prev)
 		if s := state[k]; s >= doneBase {
-			return Status(s - doneBase)
+			return Result{Status(s - doneBase), hops[k]}
 		} else if s == stVisiting {
-			return Loop
+			return Result{Loop, NoHops}
 		}
 		state[k] = stVisiting
-		var st2 Status
+		var r Result
 		nh, ok := st.Primary(cur)
 		switch {
 		case ok && nh == cur:
-			st2 = Delivered
+			r = Result{Delivered, 0}
 		case ok && nh != prev:
-			st2 = walk(nh, cur)
+			r = onward(walk(nh, cur))
 		default:
-			st2 = walkPinned(cur, st.Deflect(cur, prev), st)
+			r = walkPinned(cur, st.Deflect(cur, prev), st)
 		}
-		state[k] = doneBase + uint8(st2)
-		return st2
+		state[k] = doneBase + uint8(r.Status)
+		hops[k] = r.Hops
+		return r
 	}
-	out := make([]Status, n)
+	out := make([]Result, n)
 	for v := 0; v < n; v++ {
 		out[v] = walk(topology.ASN(v), -1)
 	}
@@ -188,18 +220,18 @@ func ClassifyRBGP(n int, dest topology.ASN, st RBGPState) []Status {
 
 // walkPinned follows a failover AS path hop by hop, checking link
 // liveness only: the packet is pinned to the path.
-func walkPinned(from topology.ASN, path []topology.ASN, st RBGPState) Status {
+func walkPinned(from topology.ASN, path []topology.ASN, st RBGPState) Result {
 	if len(path) == 0 {
-		return Blackhole
+		return Result{Blackhole, NoHops}
 	}
 	cur := from
 	for _, next := range path {
 		if !st.LinkUp(cur, next) {
-			return Blackhole
+			return Result{Blackhole, NoHops}
 		}
 		cur = next
 	}
-	return Delivered
+	return Result{Delivered, int32(len(path))}
 }
 
 // StampState is the per-AS view the STAMP walker needs.
@@ -219,9 +251,10 @@ type StampState interface {
 // color and may switch to the other color at most once (§5.1): it
 // switches when the current color has no usable route, or when the
 // current color is unstable and the other color has a stable route.
-func ClassifyStamp(n int, dest topology.ASN, st StampState) []Status {
+func ClassifyStamp(n int, dest topology.ASN, st StampState) []Result {
 	// Flattened state: ((v*2)+color)*2 + switched.
 	state := make([]uint8, n*4)
+	hops := make([]int32, n*4)
 	idx := func(v topology.ASN, c bgp.Color, switched bool) int {
 		i := int(v)*4 + int(c)*2
 		if switched {
@@ -230,55 +263,56 @@ func ClassifyStamp(n int, dest topology.ASN, st StampState) []Status {
 		return i
 	}
 
-	var walk func(cur topology.ASN, c bgp.Color, switched bool) Status
-	walk = func(cur topology.ASN, c bgp.Color, switched bool) Status {
+	var walk func(cur topology.ASN, c bgp.Color, switched bool) Result
+	walk = func(cur topology.ASN, c bgp.Color, switched bool) Result {
 		if cur == dest {
-			return Delivered
+			return Result{Delivered, 0}
 		}
 		k := idx(cur, c, switched)
 		if s := state[k]; s >= doneBase {
-			return Status(s - doneBase)
+			return Result{Status(s - doneBase), hops[k]}
 		} else if s == stVisiting {
-			return Loop
+			return Result{Loop, NoHops}
 		}
 		state[k] = stVisiting
 
 		nh, ok := st.NextHop(cur, c)
 		other := c.Other()
 		onh, ook := st.NextHop(cur, other)
-		var out Status
+		var r Result
 		switch {
 		case ok && (switched || !st.Unstable(cur, c) || !ook || st.Unstable(cur, other)):
 			// Keep the current color: it works and either looks stable,
 			// or no better option exists ("either process that still has
 			// a route can be used" when both saw ET=0).
 			if nh == cur {
-				out = Delivered
+				r = Result{Delivered, 0}
 			} else {
-				out = walk(nh, c, switched)
+				r = onward(walk(nh, c, switched))
 			}
 		case !switched && ook:
 			// Switch once to the other color.
 			if onh == cur {
-				out = Delivered
+				r = Result{Delivered, 0}
 			} else {
-				out = walk(onh, other, true)
+				r = onward(walk(onh, other, true))
 			}
 		case ok:
 			if nh == cur {
-				out = Delivered
+				r = Result{Delivered, 0}
 			} else {
-				out = walk(nh, c, switched)
+				r = onward(walk(nh, c, switched))
 			}
 		default:
-			out = Blackhole
+			r = Result{Blackhole, NoHops}
 		}
 
-		state[k] = doneBase + uint8(out)
-		return out
+		state[k] = doneBase + uint8(r.Status)
+		hops[k] = r.Hops
+		return r
 	}
 
-	out := make([]Status, n)
+	out := make([]Result, n)
 	for v := 0; v < n; v++ {
 		out[v] = walk(topology.ASN(v), st.Preferred(topology.ASN(v)), false)
 	}
@@ -287,10 +321,10 @@ func ClassifyStamp(n int, dest topology.ASN, st StampState) []Status {
 
 // Affected merges a classification into an accumulator of ASes that have
 // experienced any transient problem, returning the number newly marked.
-func Affected(acc []bool, statuses []Status) int {
+func Affected(acc []bool, results []Result) int {
 	marked := 0
-	for i, s := range statuses {
-		if s != Delivered && !acc[i] {
+	for i, r := range results {
+		if r.Status != Delivered && !acc[i] {
 			acc[i] = true
 			marked++
 		}
@@ -299,12 +333,34 @@ func Affected(acc []bool, statuses []Status) int {
 }
 
 // CountNot returns how many entries differ from want.
-func CountNot(statuses []Status, want Status) int {
+func CountNot(results []Result, want Status) int {
 	c := 0
-	for _, s := range statuses {
-		if s != want {
+	for _, r := range results {
+		if r.Status != want {
 			c++
 		}
 	}
 	return c
+}
+
+// MeanStretch returns the mean ratio of current to baseline hop counts
+// over sources delivered in both classifications with a nonzero baseline
+// (ok false when no source qualifies). A value of 1 means re-convergence
+// restored paths as short as before the event.
+func MeanStretch(base, cur []Result) (float64, bool) {
+	sum, n := 0.0, 0
+	for i := range cur {
+		if i >= len(base) {
+			break
+		}
+		if cur[i].Status != Delivered || base[i].Status != Delivered || base[i].Hops <= 0 {
+			continue
+		}
+		sum += float64(cur[i].Hops) / float64(base[i].Hops)
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
 }

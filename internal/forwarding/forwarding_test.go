@@ -14,9 +14,14 @@ func TestClassifySingleDelivery(t *testing.T) {
 		nh, ok := next[v]
 		return nh, ok
 	})
-	for v, s := range st {
-		if s != Delivered {
-			t.Errorf("status[%d] = %v, want delivered", v, s)
+	for v, r := range st {
+		if r.Status != Delivered {
+			t.Errorf("status[%d] = %v, want delivered", v, r.Status)
+		}
+	}
+	for v, want := range []int32{2, 1, 0} {
+		if st[v].Hops != want {
+			t.Errorf("hops[%d] = %d, want %d", v, st[v].Hops, want)
 		}
 	}
 }
@@ -29,12 +34,15 @@ func TestClassifySingleLoop(t *testing.T) {
 		return nh, ok
 	})
 	for _, v := range []topology.ASN{0, 1, 2} {
-		if st[v] != Loop {
-			t.Errorf("status[%d] = %v, want loop", v, st[v])
+		if st[v].Status != Loop {
+			t.Errorf("status[%d] = %v, want loop", v, st[v].Status)
+		}
+		if st[v].Hops != NoHops {
+			t.Errorf("hops[%d] = %d, want NoHops", v, st[v].Hops)
 		}
 	}
-	if st[3] != Delivered {
-		t.Errorf("dest status = %v, want delivered", st[3])
+	if st[3].Status != Delivered || st[3].Hops != 0 {
+		t.Errorf("dest result = %+v, want delivered at 0 hops", st[3])
 	}
 }
 
@@ -44,8 +52,11 @@ func TestClassifySingleBlackhole(t *testing.T) {
 		nh, ok := next[v]
 		return nh, ok
 	})
-	if st[0] != Blackhole || st[1] != Blackhole {
-		t.Errorf("statuses = %v, want blackholes at 0 and 1", st)
+	if st[0].Status != Blackhole || st[1].Status != Blackhole {
+		t.Errorf("results = %v, want blackholes at 0 and 1", st)
+	}
+	if st[0].Hops != NoHops {
+		t.Errorf("hops[0] = %d, want NoHops", st[0].Hops)
 	}
 }
 
@@ -57,8 +68,8 @@ func TestClassifySingleSelfDelivery(t *testing.T) {
 		}
 		return 0, false
 	})
-	if st[0] != Delivered {
-		t.Errorf("status[0] = %v, want delivered (self)", st[0])
+	if st[0].Status != Delivered || st[0].Hops != 0 {
+		t.Errorf("result[0] = %+v, want delivered (self) at 0 hops", st[0])
 	}
 }
 
@@ -89,11 +100,15 @@ func TestClassifyRBGPDeflection(t *testing.T) {
 		},
 	}
 	st := ClassifyRBGP(4, 3, f)
-	if st[0] != Delivered {
-		t.Errorf("status[0] = %v, want delivered via deflection", st[0])
+	if st[0].Status != Delivered {
+		t.Errorf("status[0] = %v, want delivered via deflection", st[0].Status)
 	}
-	if st[2] != Blackhole { // 2 has no primary and no deflection
-		t.Errorf("status[2] = %v, want blackhole", st[2])
+	// 0 -> 1, then pinned over [2, 3]: three hops total.
+	if st[0].Hops != 3 {
+		t.Errorf("hops[0] = %d, want 3 (one primary hop + two pinned)", st[0].Hops)
+	}
+	if st[2].Status != Blackhole { // 2 has no primary and no deflection
+		t.Errorf("status[2] = %v, want blackhole", st[2].Status)
 	}
 }
 
@@ -107,8 +122,8 @@ func TestClassifyRBGPPinnedPathDies(t *testing.T) {
 		dead: map[[2]topology.ASN]bool{{2, 3}: true},
 	}
 	st := ClassifyRBGP(4, 3, f)
-	if st[0] != Blackhole {
-		t.Errorf("status[0] = %v, want blackhole on dead pinned path", st[0])
+	if st[0].Status != Blackhole {
+		t.Errorf("status[0] = %v, want blackhole on dead pinned path", st[0].Status)
 	}
 }
 
@@ -123,8 +138,8 @@ func TestClassifyRBGPBounceTriggersDeflect(t *testing.T) {
 		},
 	}
 	st := ClassifyRBGP(4, 3, f)
-	if st[0] != Delivered || st[1] != Delivered {
-		t.Errorf("statuses = %v, want mutual bounce resolved by deflection", st)
+	if st[0].Status != Delivered || st[1].Status != Delivered {
+		t.Errorf("results = %v, want mutual bounce resolved by deflection", st)
 	}
 }
 
@@ -157,8 +172,11 @@ func TestClassifyStampSwitchOnce(t *testing.T) {
 		unstable: map[topology.ASN]map[bgp.Color]bool{},
 	}
 	st := ClassifyStamp(3, 2, f)
-	if st[0] != Delivered {
-		t.Errorf("status[0] = %v, want delivered via color switch", st[0])
+	if st[0].Status != Delivered {
+		t.Errorf("status[0] = %v, want delivered via color switch", st[0].Status)
+	}
+	if st[0].Hops != 2 {
+		t.Errorf("hops[0] = %d, want 2", st[0].Hops)
 	}
 }
 
@@ -174,8 +192,8 @@ func TestClassifyStampSecondSwitchForbidden(t *testing.T) {
 		unstable: map[topology.ASN]map[bgp.Color]bool{},
 	}
 	st := ClassifyStamp(4, 3, f)
-	if st[0] != Blackhole {
-		t.Errorf("status[0] = %v, want blackhole (second switch forbidden)", st[0])
+	if st[0].Status != Blackhole {
+		t.Errorf("status[0] = %v, want blackhole (second switch forbidden)", st[0].Status)
 	}
 }
 
@@ -192,8 +210,8 @@ func TestClassifyStampUnstableSwitch(t *testing.T) {
 		},
 	}
 	st := ClassifyStamp(3, 2, f)
-	if st[0] != Delivered {
-		t.Errorf("status[0] = %v, want delivered via unstable-triggered switch", st[0])
+	if st[0].Status != Delivered {
+		t.Errorf("status[0] = %v, want delivered via unstable-triggered switch", st[0].Status)
 	}
 }
 
@@ -210,8 +228,8 @@ func TestClassifyStampBothUnstableKeepsRoute(t *testing.T) {
 		},
 	}
 	st := ClassifyStamp(3, 2, f)
-	if st[0] != Delivered {
-		t.Errorf("status[0] = %v, want delivered on unstable-but-present route", st[0])
+	if st[0].Status != Delivered {
+		t.Errorf("status[0] = %v, want delivered on unstable-but-present route", st[0].Status)
 	}
 }
 
@@ -225,26 +243,41 @@ func TestClassifyStampLoopDetected(t *testing.T) {
 		unstable: map[topology.ASN]map[bgp.Color]bool{},
 	}
 	st := ClassifyStamp(3, 2, f)
-	if st[0] != Loop || st[1] != Loop {
-		t.Errorf("statuses = %v, want loops", st)
+	if st[0].Status != Loop || st[1].Status != Loop {
+		t.Errorf("results = %v, want loops", st)
 	}
 }
 
 func TestAffectedAccumulates(t *testing.T) {
 	acc := make([]bool, 3)
-	n1 := Affected(acc, []Status{Delivered, Loop, Delivered})
+	n1 := Affected(acc, []Result{{Delivered, 1}, {Loop, NoHops}, {Delivered, 0}})
 	if n1 != 1 || !acc[1] {
 		t.Errorf("first merge: n=%d acc=%v", n1, acc)
 	}
-	n2 := Affected(acc, []Status{Blackhole, Loop, Delivered})
+	n2 := Affected(acc, []Result{{Blackhole, NoHops}, {Loop, NoHops}, {Delivered, 0}})
 	if n2 != 1 || !acc[0] {
 		t.Errorf("second merge: n=%d acc=%v", n2, acc)
 	}
 }
 
 func TestCountNot(t *testing.T) {
-	if got := CountNot([]Status{Delivered, Loop, Blackhole}, Delivered); got != 2 {
+	res := []Result{{Delivered, 1}, {Loop, NoHops}, {Blackhole, NoHops}}
+	if got := CountNot(res, Delivered); got != 2 {
 		t.Errorf("CountNot = %d, want 2", got)
+	}
+}
+
+func TestMeanStretch(t *testing.T) {
+	base := []Result{{Delivered, 2}, {Delivered, 3}, {Delivered, 0}, {Blackhole, NoHops}}
+	cur := []Result{{Delivered, 4}, {Delivered, 3}, {Delivered, 5}, {Delivered, 1}}
+	// Qualifying sources: 0 (4/2 = 2) and 1 (3/3 = 1); source 2 has a
+	// zero baseline (it is the dest), source 3 was not delivered at base.
+	got, ok := MeanStretch(base, cur)
+	if !ok || got != 1.5 {
+		t.Errorf("MeanStretch = (%g, %v), want (1.5, true)", got, ok)
+	}
+	if _, ok := MeanStretch(base, []Result{{Loop, NoHops}}); ok {
+		t.Error("MeanStretch over no qualifying sources should report !ok")
 	}
 }
 

@@ -33,6 +33,12 @@ const (
 	// NodeFailure fails an entire provider AS of the destination (the
 	// paper's single-node-failure variant).
 	NodeFailure
+	// LinkFlap repeatedly fails and restores the same provider link of
+	// the destination (FlapCycles fail/restore rounds, FlapRestoreAfter
+	// apart) — the workload where STAMP's switch-once forwarding earns
+	// its keep: the preferred color never stabilizes, yet every packet
+	// may still switch to the other color once and be delivered.
+	LinkFlap
 )
 
 // String names the kind as in the paper's figures.
@@ -46,6 +52,8 @@ func (k Kind) String() string {
 		return "two link failures (shared AS)"
 	case NodeFailure:
 		return "single node failure"
+	case LinkFlap:
+		return "link flap (repeated fail/restore)"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -64,8 +72,10 @@ func ParseKind(s string) (Kind, error) {
 		return TwoLinksShared, nil
 	case "node-failure":
 		return NodeFailure, nil
+	case "link-flap":
+		return LinkFlap, nil
 	}
-	return 0, fmt.Errorf("unknown scenario %q (want single-link, two-links-apart, two-links-shared, or node-failure)", s)
+	return 0, fmt.Errorf("unknown scenario %q (want single-link, two-links-apart, two-links-shared, node-failure, or link-flap)", s)
 }
 
 // Set is one instantiated workload: the destination plus the links to
@@ -102,7 +112,9 @@ func Pick(g *topology.Graph, multihomed []topology.ASN, k Kind, rng *rand.Rand) 
 		p := provs[rng.Intn(len(provs))]
 		fs := Set{Dest: dest, Node: -1}
 		switch k {
-		case SingleLink:
+		case SingleLink, LinkFlap:
+			// A flap instantiates like a single link failure: the scripted
+			// fail/restore rounds are laid out by Named/FlapScript.
 			fs.Links = [][2]topology.ASN{{dest, p}}
 			return fs, nil
 		case NodeFailure:

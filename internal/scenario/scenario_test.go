@@ -20,7 +20,7 @@ func testGraph(t *testing.T) *topology.Graph {
 func TestPickDeterministic(t *testing.T) {
 	g := testGraph(t)
 	mh := Multihomed(g)
-	for _, k := range []Kind{SingleLink, TwoLinksApart, TwoLinksShared, NodeFailure} {
+	for _, k := range []Kind{SingleLink, TwoLinksApart, TwoLinksShared, NodeFailure, LinkFlap} {
 		a, err := Pick(g, mh, k, rand.New(rand.NewSource(11)))
 		if err != nil {
 			t.Fatalf("%v: %v", k, err)
@@ -59,6 +59,33 @@ func TestNamedScripts(t *testing.T) {
 	}
 	if _, err := Named("no-such-scenario", g, 1); err == nil {
 		t.Error("unknown script name accepted")
+	}
+}
+
+// TestFlapScriptShape: the link-flap script must be FlapCycles
+// fail/restore rounds of the same link, FlapRestoreAfter apart.
+func TestFlapScriptShape(t *testing.T) {
+	g := testGraph(t)
+	s, err := Named("link-flap", g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 2*FlapCycles {
+		t.Fatalf("flap script has %d events, want %d", len(s.Events), 2*FlapCycles)
+	}
+	evs := s.Sorted()
+	for c := 0; c < FlapCycles; c++ {
+		fail, restore := evs[2*c], evs[2*c+1]
+		if fail.Op != OpFailLink || restore.Op != OpRestoreLink {
+			t.Fatalf("cycle %d ops = %v, %v", c, fail.Op, restore.Op)
+		}
+		if fail.A != evs[0].A || fail.B != evs[0].B || restore.A != evs[0].A || restore.B != evs[0].B {
+			t.Errorf("cycle %d flaps a different link: %v / %v", c, fail, restore)
+		}
+		wantAt := time.Duration(c) * 2 * FlapRestoreAfter
+		if fail.At != wantAt || restore.At != wantAt+FlapRestoreAfter {
+			t.Errorf("cycle %d offsets = %v, %v; want %v, %v", c, fail.At, restore.At, wantAt, wantAt+FlapRestoreAfter)
+		}
 	}
 }
 

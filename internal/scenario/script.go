@@ -111,8 +111,29 @@ func FromSet(name string, s Set) Script {
 	return sc
 }
 
-// FlapRestoreAfter is the restore offset used by the link-flap script.
+// FlapRestoreAfter is the interval between consecutive events of a
+// link-flap script: each fail is followed by a restore this much later,
+// and the next fail the same interval after that.
 const FlapRestoreAfter = 250 * time.Millisecond
+
+// FlapCycles is the number of fail/restore rounds in a link-flap script.
+const FlapCycles = 2
+
+// FlapScript lays a picked LinkFlap set out as FlapCycles fail/restore
+// rounds of the same link, FlapRestoreAfter apart: fail@0, restore@250ms,
+// fail@500ms, restore@750ms, …
+func FlapScript(name string, s Set) Script {
+	l := s.Links[0]
+	sc := Script{Name: name, Dest: s.Dest}
+	for c := 0; c < FlapCycles; c++ {
+		at := time.Duration(c) * 2 * FlapRestoreAfter
+		sc.Events = append(sc.Events,
+			Event{At: at, Op: OpFailLink, A: l[0], B: l[1]},
+			Event{At: at + FlapRestoreAfter, Op: OpRestoreLink, A: l[0], B: l[1]},
+		)
+	}
+	return sc
+}
 
 // Names lists the script names Named accepts.
 func Names() []string {
@@ -123,24 +144,13 @@ func Names() []string {
 }
 
 // Named builds a script by CLI name on a topology, with workload
-// randomness drawn from seed: the four §6.2 failure kinds, "link-flap"
-// (fail one destination provider link, restore it FlapRestoreAfter
-// later), and "prefix-withdraw" (the origin withdraws its prefix).
+// randomness drawn from seed: the §6.2 failure kinds (including
+// "link-flap", FlapCycles fail/restore rounds of one destination provider
+// link) and "prefix-withdraw" (the origin withdraws its prefix).
 func Named(name string, g *topology.Graph, seed int64) (Script, error) {
 	rng := rand.New(rand.NewSource(seed))
 	mh := Multihomed(g)
-	switch name {
-	case "link-flap":
-		set, err := Pick(g, mh, SingleLink, rng)
-		if err != nil {
-			return Script{}, err
-		}
-		l := set.Links[0]
-		return Script{Name: name, Dest: set.Dest, Events: []Event{
-			{Op: OpFailLink, A: l[0], B: l[1]},
-			{At: FlapRestoreAfter, Op: OpRestoreLink, A: l[0], B: l[1]},
-		}}, nil
-	case "prefix-withdraw":
+	if name == "prefix-withdraw" {
 		if len(mh) == 0 {
 			return Script{}, fmt.Errorf("scenario: topology has no multi-homed AS")
 		}
@@ -151,11 +161,14 @@ func Named(name string, g *topology.Graph, seed int64) (Script, error) {
 	}
 	k, err := ParseKind(name)
 	if err != nil {
-		return Script{}, fmt.Errorf("%w (or link-flap, prefix-withdraw)", err)
+		return Script{}, fmt.Errorf("%w (or prefix-withdraw)", err)
 	}
 	set, err := Pick(g, mh, k, rng)
 	if err != nil {
 		return Script{}, err
+	}
+	if k == LinkFlap {
+		return FlapScript(name, set), nil
 	}
 	return FromSet(name, set), nil
 }

@@ -1,0 +1,163 @@
+package traffic
+
+import (
+	"fmt"
+	"time"
+
+	"stamp/internal/forwarding"
+	"stamp/internal/metrics"
+	"stamp/internal/topology"
+)
+
+// Curve is the time-resolved data-plane outcome of one run: per tick,
+// how many packets were lost and delivered and how stretched the
+// delivered paths were, plus the final converged deliverability. Ticks
+// count from the first scenario event; tick i (1-based) samples the
+// forwarding state at i×Tick and lands in series bucket i-1.
+type Curve struct {
+	Proto Protocol      `json:"protocol"`
+	Flows int           `json:"flows_per_source"`
+	Tick  time.Duration `json:"tick"`
+	Ticks int           `json:"ticks"`
+
+	// Lost and Delivered hold one observation per tick: the number of
+	// packets (non-delivered/delivered sources × Flows) at that tick.
+	Lost      *metrics.TimeSeries `json:"lost"`
+	Delivered *metrics.TimeSeries `json:"delivered"`
+	// Stretch holds one observation per tick: the mean ratio of delivered
+	// hop counts to the pre-event baseline (ticks with no qualifying
+	// source contribute nothing).
+	Stretch *metrics.TimeSeries `json:"stretch"`
+
+	// LostPacketTicks is the loss integral: packets lost summed over all
+	// sampled ticks.
+	LostPacketTicks int64 `json:"lost_packet_ticks"`
+	// TransientLostPacketTicks restricts the loss integral to sources
+	// that are delivered at the converged fixpoint — the paper's §6.2
+	// accounting, which separates convergence-caused loss from sources
+	// the event permanently cut off.
+	TransientLostPacketTicks int64 `json:"transient_lost_packet_ticks"`
+	// EverAffected counts sources that were non-delivered at one or more
+	// sampled ticks; TransientAffected restricts that to sources fine
+	// once converged.
+	EverAffected      int `json:"ever_affected"`
+	TransientAffected int `json:"transient_affected"`
+
+	// Final is the converged data plane after the scenario (the parity
+	// surface for sim-vs-emu differential validation).
+	Final Walk `json:"-"`
+
+	lostTicks []int32 // per source: ticks at which it was not delivered
+}
+
+// newCurve allocates the curve and its series for a run.
+func newCurve(proto Protocol, flows, ticks int, tick time.Duration, n int) (*Curve, error) {
+	c := &Curve{
+		Proto:     proto,
+		Flows:     flows,
+		Tick:      tick,
+		Ticks:     ticks,
+		lostTicks: make([]int32, n),
+	}
+	var err error
+	if c.Lost, err = metrics.NewTimeSeries(tick.Seconds(), ticks); err != nil {
+		return nil, err
+	}
+	if c.Delivered, err = metrics.NewTimeSeries(tick.Seconds(), ticks); err != nil {
+		return nil, err
+	}
+	if c.Stretch, err = metrics.NewTimeSeries(tick.Seconds(), ticks); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// observe folds one sampled tick (1-based) into the curve. baseline is
+// the pre-event classification used for stretch.
+func (c *Curve) observe(tickIdx int, w, baseline *Walk) {
+	n := len(w.Status)
+	delivered := 0
+	stretchSum, stretchN := 0.0, 0
+	for v := 0; v < n; v++ {
+		if w.Status[v] != forwarding.Delivered {
+			c.lostTicks[v]++
+			continue
+		}
+		delivered++
+		if baseline.Status[v] == forwarding.Delivered && baseline.Hops[v] > 0 {
+			stretchSum += float64(w.Hops[v]) / float64(baseline.Hops[v])
+			stretchN++
+		}
+	}
+	// Observation time: the middle of bucket tickIdx-1, robust against
+	// float rounding at bucket edges.
+	at := (float64(tickIdx) - 0.5) * c.Tick.Seconds()
+	lost := (n - delivered) * c.Flows
+	c.Lost.Observe(at, float64(lost))
+	c.Delivered.Observe(at, float64(delivered*c.Flows))
+	if stretchN > 0 {
+		c.Stretch.Observe(at, stretchSum/float64(stretchN))
+	}
+	c.LostPacketTicks += int64(lost)
+}
+
+// finish derives the affected counts and the transient loss integral
+// once all ticks are in and the final deliverability is known.
+func (c *Curve) finish() {
+	c.EverAffected, c.TransientAffected, c.TransientLostPacketTicks = 0, 0, 0
+	for v, lt := range c.lostTicks {
+		if lt == 0 {
+			continue
+		}
+		c.EverAffected++
+		if v < len(c.Final.Status) && c.Final.Status[v] == forwarding.Delivered {
+			c.TransientAffected++
+			c.TransientLostPacketTicks += int64(lt) * int64(c.Flows)
+		}
+	}
+}
+
+// Divergence is one sim-vs-live data-plane mismatch: a source whose
+// packets end up with a different fate (or a different path length) on
+// the two backends.
+type Divergence struct {
+	AS       topology.ASN      `json:"as"`
+	Sim      forwarding.Status `json:"-"`
+	Live     forwarding.Status `json:"-"`
+	SimHops  int32             `json:"sim_hops"`
+	LiveHops int32             `json:"live_hops"`
+}
+
+// String renders the divergence for logs.
+func (d Divergence) String() string {
+	return fmt.Sprintf("AS%d: sim=%v/%d hops, live=%v/%d hops", d.AS, d.Sim, d.SimHops, d.Live, d.LiveHops)
+}
+
+// MarshalJSON spells the statuses by name.
+func (d Divergence) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf(`{"as":%d,"sim":%q,"sim_hops":%d,"live":%q,"live_hops":%d}`,
+		d.AS, d.Sim, d.SimHops, d.Live, d.LiveHops)), nil
+}
+
+// DiffFinal compares the converged deliverability of a simulator curve
+// (c) against a live curve (o): per source, status and hop count must
+// match. Zero divergences is the transient-parity pass condition —
+// convergence *timing* differs between virtual and wall-clock time, but
+// with the deterministic reference configuration both worlds must settle
+// every source into the same data-plane fate over the same-length path.
+func (c *Curve) DiffFinal(o *Curve) []Divergence {
+	var out []Divergence
+	for v := range c.Final.Status {
+		if v >= len(o.Final.Status) {
+			break
+		}
+		if c.Final.Status[v] != o.Final.Status[v] || c.Final.Hops[v] != o.Final.Hops[v] {
+			out = append(out, Divergence{
+				AS:  topology.ASN(v),
+				Sim: c.Final.Status[v], SimHops: c.Final.Hops[v],
+				Live: o.Final.Status[v], LiveHops: o.Final.Hops[v],
+			})
+		}
+	}
+	return out
+}

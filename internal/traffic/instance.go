@@ -1,0 +1,139 @@
+package traffic
+
+import (
+	"stamp/internal/bgp"
+	"stamp/internal/core"
+	"stamp/internal/forwarding"
+	"stamp/internal/rbgp"
+	"stamp/internal/sim"
+	"stamp/internal/topology"
+)
+
+// instance is a fully built simulation of one protocol on one topology
+// with one destination. It mirrors internal/experiments' instance (which
+// cannot be shared: experiments sits above traffic), but exposes only
+// what the traffic engine needs — snapshot extraction and batched
+// classification.
+type instance struct {
+	proto Protocol
+	g     *topology.Graph
+	e     *sim.Engine
+	net   *sim.Network
+	dest  topology.ASN
+
+	bgpNodes   []*bgp.Node
+	rbgpNodes  []*rbgp.Node
+	stampNodes []*core.Node
+
+	// Snapshot scratch, reused across ticks.
+	walker Walker
+	single []int32
+	stamp  StampTables
+}
+
+// newInstance constructs engine, network, and per-AS protocol nodes, and
+// originates the prefix at dest. bluePick customizes STAMP's locked blue
+// provider selection (nil for the random default).
+func newInstance(proto Protocol, g *topology.Graph, params sim.Params, seed int64, dest topology.ASN, bluePick core.BluePicker) *instance {
+	in := &instance{proto: proto, g: g, dest: dest}
+	in.e = sim.NewEngine(params, seed)
+	in.net = sim.NewNetwork(in.e, g)
+	n := g.Len()
+	switch proto {
+	case BGP:
+		in.bgpNodes = make([]*bgp.Node, n)
+		for a := 0; a < n; a++ {
+			in.bgpNodes[a] = bgp.NewNode(topology.ASN(a), g, in.e, in.net)
+		}
+		in.bgpNodes[dest].Originate()
+	case RBGPNoRCI, RBGP:
+		rci := proto == RBGP
+		in.rbgpNodes = make([]*rbgp.Node, n)
+		for a := 0; a < n; a++ {
+			in.rbgpNodes[a] = rbgp.NewNode(topology.ASN(a), g, in.e, in.net, rci)
+		}
+		in.rbgpNodes[dest].Originate()
+	case STAMP:
+		in.stampNodes = make([]*core.Node, n)
+		for a := 0; a < n; a++ {
+			in.stampNodes[a] = core.NewNode(topology.ASN(a), g, in.e, in.net)
+		}
+		if bluePick != nil {
+			in.stampNodes[dest].BluePick = bluePick
+		}
+		in.stampNodes[dest].Originate()
+	}
+	return in
+}
+
+// classify samples the current forwarding state into out. BGP and STAMP
+// go through the flat batched walkers; R-BGP's arriving-interface- and
+// pinned-path-dependent forwarding stays on the callback classifier (its
+// state is inherently sparse), sampled synchronously while the engine is
+// paused.
+func (in *instance) classify(out *Walk) {
+	n := in.g.Len()
+	switch in.proto {
+	case BGP:
+		if in.single == nil {
+			in.single = make([]int32, n)
+		}
+		for a := 0; a < n; a++ {
+			in.single[a] = nextHop32(in.bgpNodes[a].NextHop())
+		}
+		in.walker.WalkSingle(in.single, int32(in.dest), out)
+	case RBGPNoRCI, RBGP:
+		res := forwarding.ClassifyRBGP(n, in.dest, rbgpView{in.rbgpNodes, in.net})
+		out.reset(n)
+		for a, r := range res {
+			out.Status[a], out.Hops[a] = r.Status, r.Hops
+		}
+	case STAMP:
+		in.snapshotStamp()
+		in.walker.WalkStamp(in.stamp, int32(in.dest), out)
+	}
+}
+
+// snapshotStamp flattens the STAMP nodes' forwarding state into the
+// reusable StampTables scratch.
+func (in *instance) snapshotStamp() {
+	n := in.g.Len()
+	if in.stamp.NextRed == nil {
+		in.stamp = StampTables{
+			NextRed:      make([]int32, n),
+			NextBlue:     make([]int32, n),
+			UnstableRed:  make([]bool, n),
+			UnstableBlue: make([]bool, n),
+			Pref:         make([]uint8, n),
+		}
+	}
+	for a, node := range in.stampNodes {
+		in.stamp.NextRed[a] = nextHop32(node.NextHop(bgp.ColorRed))
+		in.stamp.NextBlue[a] = nextHop32(node.NextHop(bgp.ColorBlue))
+		in.stamp.UnstableRed[a] = node.Unstable(bgp.ColorRed)
+		in.stamp.UnstableBlue[a] = node.Unstable(bgp.ColorBlue)
+		in.stamp.Pref[a] = uint8(node.Preferred())
+	}
+}
+
+// nextHop32 flattens a (next hop, ok) pair to the walker encoding.
+func nextHop32(nh topology.ASN, ok bool) int32 {
+	if !ok {
+		return -1
+	}
+	return int32(nh)
+}
+
+// rbgpView adapts the R-BGP node slice to the forwarding walker.
+type rbgpView struct {
+	nodes []*rbgp.Node
+	net   *sim.Network
+}
+
+func (v rbgpView) Primary(as topology.ASN) (topology.ASN, bool) {
+	return v.nodes[as].Primary()
+}
+func (v rbgpView) Deflect(as, prev topology.ASN) []topology.ASN {
+	return v.nodes[as].Deflect(prev)
+}
+func (v rbgpView) LinkUp(a, b topology.ASN) bool { return v.net.LinkUp(a, b) }

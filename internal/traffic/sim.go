@@ -1,0 +1,146 @@
+package traffic
+
+import (
+	"fmt"
+	"time"
+
+	"stamp/internal/core"
+	"stamp/internal/scenario"
+	"stamp/internal/sim"
+	"stamp/internal/topology"
+)
+
+// Defaults for flow injection. The sim tick must resolve sub-second loss
+// windows (withdrawal waves last on the order of the 10–20ms message
+// delay), while the window must span MRAI-paced convergence (tens of
+// seconds of virtual time): 2400 ticks of 25ms cover 60s at wave
+// resolution. The emu backend overrides with wall-clock-scale defaults
+// (the timer-free live fleet converges in tens of milliseconds).
+const (
+	DefaultFlows    = 1
+	DefaultTick     = 25 * time.Millisecond
+	DefaultTicks    = 2400
+	defaultEmuTick  = 10 * time.Millisecond
+	defaultEmuTicks = 150
+)
+
+// SimOpts configures one simulated flow-injection run.
+type SimOpts struct {
+	// G is the AS topology (required).
+	G *topology.Graph
+	// Proto is the protocol under test.
+	Proto Protocol
+	// Params is the simulation timing model (DefaultParams if zero).
+	Params sim.Params
+	// Script is the failure workload; flows inject relative to its start.
+	Script scenario.Script
+	// Flows is the number of flows per source AS; each flow contributes
+	// one packet per tick (default 1).
+	Flows int
+	// Tick is the virtual-time sampling interval (default 25ms).
+	Tick time.Duration
+	// Ticks is the number of samples after the first event (default
+	// 2400, a 60s window).
+	Ticks int
+	// Seed drives engine randomness (delays, MRAI jitter, lock picks).
+	Seed int64
+	// BluePick overrides STAMP's locked blue provider choice (nil for
+	// random; the sim-vs-emu parity path uses core.FirstBluePicker to
+	// match the live fleet).
+	BluePick core.BluePicker
+}
+
+func (o SimOpts) withDefaults() SimOpts {
+	if o.Params == (sim.Params{}) {
+		o.Params = sim.DefaultParams()
+	}
+	if o.Flows <= 0 {
+		o.Flows = DefaultFlows
+	}
+	if o.Tick <= 0 {
+		o.Tick = DefaultTick
+	}
+	if o.Ticks <= 0 {
+		o.Ticks = DefaultTicks
+	}
+	return o
+}
+
+// RunSim converges the protocol, then replays the script while sampling
+// the data plane at virtual-time ticks: at each tick the forwarding
+// tables are flattened and the batched walker classifies all sources in
+// one pass. After the last tick the engine drains to full convergence
+// and the final deliverability is recorded.
+func RunSim(o SimOpts) (*Curve, error) {
+	if o.G == nil {
+		return nil, fmt.Errorf("traffic: nil topology")
+	}
+	o = o.withDefaults()
+	in := newInstance(o.Proto, o.G, o.Params, o.Seed, o.Script.Dest, o.BluePick)
+	if _, err := in.e.Run(); err != nil {
+		return nil, fmt.Errorf("traffic: initial convergence: %w", err)
+	}
+
+	baseline := &Walk{}
+	in.classify(baseline)
+
+	cur, err := newCurve(o.Proto, o.Flows, o.Ticks, o.Tick, o.G.Len())
+	if err != nil {
+		return nil, err
+	}
+
+	// Schedule the script's events at their virtual-time offsets.
+	t0 := in.e.Now()
+	var evErr error
+	for _, ev := range o.Script.Sorted() {
+		ev := ev
+		in.e.After(ev.At, func() {
+			if err := scenario.Apply(in, ev); err != nil && evErr == nil {
+				evErr = fmt.Errorf("traffic: applying %v: %w", ev, err)
+			}
+		})
+	}
+
+	w := &Walk{}
+	for i := 1; i <= o.Ticks; i++ {
+		if _, err := in.e.RunUntil(t0 + time.Duration(i)*o.Tick); err != nil {
+			return nil, fmt.Errorf("traffic: tick %d: %w", i, err)
+		}
+		if evErr != nil {
+			return nil, evErr
+		}
+		in.classify(w)
+		cur.observe(i, w, baseline)
+	}
+	if _, err := in.e.Run(); err != nil {
+		return nil, fmt.Errorf("traffic: failure convergence: %w", err)
+	}
+	if evErr != nil {
+		return nil, evErr
+	}
+	in.classify(&cur.Final)
+	cur.finish()
+	return cur, nil
+}
+
+// FailLink implements scenario.Executor.
+func (in *instance) FailLink(a, b topology.ASN) error { return in.net.FailLink(a, b) }
+
+// RestoreLink implements scenario.Executor.
+func (in *instance) RestoreLink(a, b topology.ASN) error { return in.net.RestoreLink(a, b) }
+
+// FailNode implements scenario.Executor.
+func (in *instance) FailNode(a topology.ASN) error { in.net.FailNode(a); return nil }
+
+// Withdraw implements scenario.Executor.
+func (in *instance) Withdraw(d topology.ASN) error {
+	switch in.proto {
+	case BGP:
+		in.bgpNodes[d].WithdrawOrigin()
+	case RBGPNoRCI, RBGP:
+		in.rbgpNodes[d].WithdrawOrigin()
+	case STAMP:
+		in.stampNodes[d].WithdrawOrigin()
+	}
+	return nil
+}

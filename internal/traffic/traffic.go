@@ -1,0 +1,114 @@
+// Package traffic is the packet-level data-plane engine: it injects
+// per-source flow batches against a converging routing system and
+// produces time-resolved delivery/loss/stretch curves — the workload
+// behind the paper's §5.1 claim that STAMP's data plane stays usable
+// while the control plane converges.
+//
+// Two injection backends share one engine:
+//
+//   - sim (RunSim): the discrete-event simulator is paused at virtual-time
+//     ticks during a scenario.Script; at each tick the forwarding tables
+//     are flattened into arrays and a batched, memoized multi-source
+//     walker classifies every source in one pass. The flat walkers do
+//     millions of packet-walks per second (see BenchmarkTrafficWalk),
+//     which is what makes dense tick sampling over many trials cheap.
+//   - emu (RunEmu): the same synthetic flows are driven through the live
+//     fabric's wall-clock tables (internal/emu) during the same script,
+//     and the resulting deliverability is differentially validated
+//     against the simulator's — extending PR 2's Tables.Diff methodology
+//     from "same final tables" to "same transient deliverability".
+//
+// The walkers are equivalence-tested against the callback-driven
+// classifiers in internal/forwarding, which remain the semantic
+// reference.
+package traffic
+
+import (
+	"fmt"
+
+	"stamp/internal/forwarding"
+)
+
+// Protocol selects the routing protocol whose data plane is exercised.
+// It mirrors internal/experiments.Protocol (which cannot be imported
+// here: experiments sits above traffic and hosts the sharded loss-curve
+// harness on top of this package).
+type Protocol int
+
+const (
+	// BGP is standard BGP: one process, next-hop forwarding.
+	BGP Protocol = iota
+	// RBGPNoRCI is R-BGP failover forwarding without root cause
+	// information.
+	RBGPNoRCI
+	// RBGP is full R-BGP with RCI.
+	RBGP
+	// STAMP is the paper's multi-process protocol with switch-once
+	// color forwarding.
+	STAMP
+)
+
+// AllProtocols lists the protocols in the paper's presentation order.
+func AllProtocols() []Protocol { return []Protocol{BGP, RBGPNoRCI, RBGP, STAMP} }
+
+// String names the protocol as in the paper's figures.
+func (p Protocol) String() string {
+	switch p {
+	case BGP:
+		return "BGP"
+	case RBGPNoRCI:
+		return "R-BGP without RCI"
+	case RBGP:
+		return "R-BGP"
+	case STAMP:
+		return "STAMP"
+	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// MarshalText renders the protocol by its figure label in JSON reports.
+func (p Protocol) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
+
+// ParseProtocol maps the CLI spelling of a protocol to its value.
+func ParseProtocol(s string) (Protocol, error) {
+	switch s {
+	case "bgp":
+		return BGP, nil
+	case "rbgp-norci":
+		return RBGPNoRCI, nil
+	case "rbgp":
+		return RBGP, nil
+	case "stamp":
+		return STAMP, nil
+	}
+	return 0, fmt.Errorf("unknown protocol %q (want bgp, rbgp-norci, rbgp, or stamp)", s)
+}
+
+// Walk is the outcome of one batched classification pass, in
+// structure-of-arrays layout: one status and hop count per source AS.
+// Hops is forwarding.NoHops for sources whose packets never arrive.
+type Walk struct {
+	Status []forwarding.Status
+	Hops   []int32
+}
+
+// reset sizes the walk for n sources.
+func (w *Walk) reset(n int) {
+	if cap(w.Status) < n {
+		w.Status = make([]forwarding.Status, n)
+		w.Hops = make([]int32, n)
+	}
+	w.Status = w.Status[:n]
+	w.Hops = w.Hops[:n]
+}
+
+// Delivered counts delivered sources.
+func (w *Walk) Delivered() int {
+	n := 0
+	for _, s := range w.Status {
+		if s == forwarding.Delivered {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,215 @@
+package traffic
+
+import (
+	"stamp/internal/forwarding"
+)
+
+// The batched walkers classify every source of a forwarding-table
+// snapshot in one pass over flat arrays. Memoization is per walk state
+// (one state per AS for single-plane protocols, four per AS for STAMP's
+// (color, switched) planes): each state is resolved exactly once, so a
+// whole-topology classification is O(states) regardless of how many
+// sources funnel through the same paths — the property that lets the
+// traffic engine sample snapshots densely. The walk is iterative with an
+// explicit chain stack (no recursion, no per-call closures); scratch
+// buffers live in the Walker and are reused across ticks, so the steady
+// state allocates nothing.
+
+// Walk states: unknown, on the current chain, or done (doneBase+status).
+const (
+	wUnknown uint8 = 0
+	wOnStack uint8 = 1
+	wDone    uint8 = 2
+)
+
+// Walker holds the scratch buffers of the batched walkers. The zero
+// value is ready to use; a Walker is not goroutine-safe.
+type Walker struct {
+	state []uint8
+	hops  []int32
+	stack []int32
+}
+
+// scratch returns zeroed state and hop buffers of length n.
+func (w *Walker) scratch(n int) ([]uint8, []int32) {
+	if cap(w.state) < n {
+		w.state = make([]uint8, n)
+		w.hops = make([]int32, n)
+	}
+	w.state = w.state[:n]
+	w.hops = w.hops[:n]
+	for i := range w.state {
+		w.state[i] = wUnknown
+	}
+	return w.state, w.hops
+}
+
+// unwind resolves every state on the chain stack with the terminal
+// outcome, incrementing hops per chain link on delivery, and returns the
+// emptied stack.
+func unwind(stack []int32, st []uint8, hp []int32, term forwarding.Status, termHops int32) []int32 {
+	done := wDone + uint8(term)
+	for i := len(stack) - 1; i >= 0; i-- {
+		u := stack[i]
+		if term == forwarding.Delivered {
+			termHops++
+			hp[u] = termHops
+		} else {
+			hp[u] = forwarding.NoHops
+		}
+		st[u] = done
+	}
+	return stack[:0]
+}
+
+// WalkSingle classifies all sources of a single-plane snapshot: next[v]
+// is AS v's forwarding neighbor, -1 when it has no usable route, and v
+// itself for local delivery at the origin. Semantically identical to
+// forwarding.ClassifySingle (equivalence-tested).
+func (w *Walker) WalkSingle(next []int32, dest int32, out *Walk) {
+	n := len(next)
+	out.reset(n)
+	st, hp := w.scratch(n)
+	stack := w.stack[:0]
+	for src := 0; src < n; src++ {
+		v := int32(src)
+		if st[v] >= wDone {
+			continue
+		}
+		var term forwarding.Status
+		var termHops int32
+	chain:
+		for {
+			switch s := st[v]; {
+			case s >= wDone:
+				term, termHops = forwarding.Status(s-wDone), hp[v]
+				break chain
+			case s == wOnStack:
+				term, termHops = forwarding.Loop, forwarding.NoHops
+				break chain
+			}
+			nh := next[v]
+			switch {
+			case v == dest, nh == v:
+				st[v], hp[v] = wDone+uint8(forwarding.Delivered), 0
+				term, termHops = forwarding.Delivered, 0
+				break chain
+			case nh < 0:
+				st[v], hp[v] = wDone+uint8(forwarding.Blackhole), forwarding.NoHops
+				term, termHops = forwarding.Blackhole, forwarding.NoHops
+				break chain
+			}
+			st[v] = wOnStack
+			stack = append(stack, v)
+			v = nh
+		}
+		stack = unwind(stack, st, hp, term, termHops)
+	}
+	w.stack = stack
+	for v := 0; v < n; v++ {
+		out.Status[v] = forwarding.Status(st[v] - wDone)
+		out.Hops[v] = hp[v]
+	}
+}
+
+// StampTables is the flat STAMP data-plane snapshot the batched walker
+// consumes: per-color next hops (-1 no route, own index at the origin),
+// per-color ET instability flags, and the color each AS stamps on
+// locally sourced packets. internal/emu's DataPlane has the same shape
+// for the live fabric.
+type StampTables struct {
+	NextRed, NextBlue         []int32
+	UnstableRed, UnstableBlue []bool
+	Pref                      []uint8 // 0 red, 1 blue
+}
+
+// stampState flattens (v, color, switched) into one state id.
+func stampState(v int32, color uint8, switched bool) int32 {
+	id := v*4 + int32(color)*2
+	if switched {
+		id++
+	}
+	return id
+}
+
+// WalkStamp classifies all sources of a STAMP snapshot under the
+// switch-once rule: a packet keeps its color while that color has a
+// usable route and either looks stable or no better option exists; it
+// may switch to the other color at most once. Semantically identical to
+// forwarding.ClassifyStamp (equivalence-tested).
+func (w *Walker) WalkStamp(t StampTables, dest int32, out *Walk) {
+	n := len(t.NextRed)
+	out.reset(n)
+	st, hp := w.scratch(n * 4)
+	stack := w.stack[:0]
+	// All four destination states deliver locally, whatever the tables
+	// say (a packet sourced at the destination has arrived).
+	for _, id := range [4]int32{dest * 4, dest*4 + 1, dest*4 + 2, dest*4 + 3} {
+		st[id], hp[id] = wDone+uint8(forwarding.Delivered), 0
+	}
+
+	for src := 0; src < n; src++ {
+		id := stampState(int32(src), t.Pref[src], false)
+		if st[id] >= wDone {
+			continue
+		}
+		var term forwarding.Status
+		var termHops int32
+	chain:
+		for {
+			switch s := st[id]; {
+			case s >= wDone:
+				term, termHops = forwarding.Status(s-wDone), hp[id]
+				break chain
+			case s == wOnStack:
+				term, termHops = forwarding.Loop, forwarding.NoHops
+				break chain
+			}
+			v := id / 4
+			color := uint8(id/2) & 1
+			switched := id&1 == 1
+
+			next, onext := t.NextRed, t.NextBlue
+			unst, ounst := t.UnstableRed[v], t.UnstableBlue[v]
+			if color == 1 {
+				next, onext = onext, next
+				unst, ounst = ounst, unst
+			}
+			nh, onh := next[v], onext[v]
+			ok, ook := nh >= 0, onh >= 0
+
+			var to int32
+			switch {
+			case ok && (switched || !unst || !ook || ounst):
+				// Keep the current color: it works and either looks
+				// stable, or no better option exists.
+				to = stampState(nh, color, switched)
+			case !switched && ook:
+				// Switch once to the other color.
+				nh = onh
+				to = stampState(onh, 1-color, true)
+			case ok:
+				to = stampState(nh, color, switched)
+			default:
+				st[id], hp[id] = wDone+uint8(forwarding.Blackhole), forwarding.NoHops
+				term, termHops = forwarding.Blackhole, forwarding.NoHops
+				break chain
+			}
+			if nh == v {
+				st[id], hp[id] = wDone+uint8(forwarding.Delivered), 0
+				term, termHops = forwarding.Delivered, 0
+				break chain
+			}
+			st[id] = wOnStack
+			stack = append(stack, id)
+			id = to
+		}
+		stack = unwind(stack, st, hp, term, termHops)
+	}
+	w.stack = stack
+	for v := 0; v < n; v++ {
+		id := stampState(int32(v), t.Pref[v], false)
+		out.Status[v] = forwarding.Status(st[id] - wDone)
+		out.Hops[v] = hp[id]
+	}
+}

@@ -1,0 +1,162 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+
+	"stamp/internal/bgp"
+	"stamp/internal/forwarding"
+	"stamp/internal/topology"
+)
+
+// randSingle builds a random single-plane snapshot: a mix of delivery
+// chains, loops, blackholes, and self-delivering origins.
+func randSingle(rng *rand.Rand, n int) ([]int32, int32) {
+	next := make([]int32, n)
+	for v := range next {
+		switch rng.Intn(10) {
+		case 0:
+			next[v] = -1 // no route
+		case 1:
+			next[v] = int32(v) // local delivery
+		default:
+			next[v] = int32(rng.Intn(n))
+		}
+	}
+	return next, int32(rng.Intn(n))
+}
+
+// TestWalkSingleEquivalence: the batched walker must agree with both the
+// callback classifier (the semantic reference) and the naive per-packet
+// walker on random snapshots.
+func TestWalkSingleEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var walker Walker
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(60)
+		next, dest := randSingle(rng, n)
+
+		var batched, naive Walk
+		walker.WalkSingle(next, dest, &batched)
+		NaiveWalkSingle(next, dest, &naive)
+		ref := forwarding.ClassifySingle(n, topology.ASN(dest), func(v topology.ASN) (topology.ASN, bool) {
+			if next[v] < 0 {
+				return 0, false
+			}
+			return topology.ASN(next[v]), true
+		})
+
+		for v := 0; v < n; v++ {
+			if batched.Status[v] != ref[v].Status || batched.Hops[v] != ref[v].Hops {
+				t.Fatalf("trial %d: batched[%d] = %v/%d, reference %v/%d (next=%v dest=%d)",
+					trial, v, batched.Status[v], batched.Hops[v], ref[v].Status, ref[v].Hops, next, dest)
+			}
+			if naive.Status[v] != ref[v].Status || naive.Hops[v] != ref[v].Hops {
+				t.Fatalf("trial %d: naive[%d] = %v/%d, reference %v/%d (next=%v dest=%d)",
+					trial, v, naive.Status[v], naive.Hops[v], ref[v].Status, ref[v].Hops, next, dest)
+			}
+		}
+	}
+}
+
+// randStamp builds a random STAMP snapshot.
+func randStamp(rng *rand.Rand, n int) (StampTables, int32) {
+	t := StampTables{
+		NextRed:      make([]int32, n),
+		NextBlue:     make([]int32, n),
+		UnstableRed:  make([]bool, n),
+		UnstableBlue: make([]bool, n),
+		Pref:         make([]uint8, n),
+	}
+	fill := func(next []int32) {
+		for v := range next {
+			switch rng.Intn(10) {
+			case 0, 1:
+				next[v] = -1
+			case 2:
+				next[v] = int32(v)
+			default:
+				next[v] = int32(rng.Intn(n))
+			}
+		}
+	}
+	fill(t.NextRed)
+	fill(t.NextBlue)
+	for v := 0; v < n; v++ {
+		t.UnstableRed[v] = rng.Intn(4) == 0
+		t.UnstableBlue[v] = rng.Intn(4) == 0
+		t.Pref[v] = uint8(rng.Intn(2))
+	}
+	return t, int32(rng.Intn(n))
+}
+
+// stampSnapView adapts a flat snapshot to forwarding.StampState.
+type stampSnapView struct{ t StampTables }
+
+func (s stampSnapView) NextHop(as topology.ASN, c bgp.Color) (topology.ASN, bool) {
+	next := s.t.NextRed
+	if c == bgp.ColorBlue {
+		next = s.t.NextBlue
+	}
+	if next[as] < 0 {
+		return 0, false
+	}
+	return topology.ASN(next[as]), true
+}
+func (s stampSnapView) Unstable(as topology.ASN, c bgp.Color) bool {
+	if c == bgp.ColorBlue {
+		return s.t.UnstableBlue[as]
+	}
+	return s.t.UnstableRed[as]
+}
+func (s stampSnapView) Preferred(as topology.ASN) bgp.Color {
+	return bgp.Color(s.t.Pref[as])
+}
+
+// TestWalkStampEquivalence: batched == naive == forwarding.ClassifyStamp
+// on random color-plane snapshots.
+func TestWalkStampEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var walker Walker
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(50)
+		tables, dest := randStamp(rng, n)
+
+		var batched, naive Walk
+		walker.WalkStamp(tables, dest, &batched)
+		NaiveWalkStamp(tables, dest, &naive)
+		ref := forwarding.ClassifyStamp(n, topology.ASN(dest), stampSnapView{tables})
+
+		for v := 0; v < n; v++ {
+			if batched.Status[v] != ref[v].Status || batched.Hops[v] != ref[v].Hops {
+				t.Fatalf("trial %d: batched[%d] = %v/%d, reference %v/%d",
+					trial, v, batched.Status[v], batched.Hops[v], ref[v].Status, ref[v].Hops)
+			}
+			if naive.Status[v] != ref[v].Status || naive.Hops[v] != ref[v].Hops {
+				t.Fatalf("trial %d: naive[%d] = %v/%d, reference %v/%d",
+					trial, v, naive.Status[v], naive.Hops[v], ref[v].Status, ref[v].Hops)
+			}
+		}
+	}
+}
+
+// TestWalkerScratchReuse: back-to-back walks on the same Walker must not
+// leak state between snapshots.
+func TestWalkerScratchReuse(t *testing.T) {
+	var walker Walker
+	// First: everything delivers through 1 -> 2 (dest).
+	var a Walk
+	walker.WalkSingle([]int32{1, 2, 2}, 2, &a)
+	if a.Delivered() != 3 {
+		t.Fatalf("first walk delivered %d, want 3", a.Delivered())
+	}
+	// Second, same walker: 0 and 1 now loop.
+	var b Walk
+	walker.WalkSingle([]int32{1, 0, 2}, 2, &b)
+	if b.Status[0] != forwarding.Loop || b.Status[1] != forwarding.Loop {
+		t.Errorf("scratch leaked: second walk = %v", b.Status)
+	}
+	if b.Status[2] != forwarding.Delivered {
+		t.Errorf("dest = %v, want delivered", b.Status[2])
+	}
+}
