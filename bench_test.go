@@ -19,6 +19,7 @@ import (
 	"stamp/internal/disjoint"
 	"stamp/internal/emu"
 	"stamp/internal/experiments"
+	"stamp/internal/runner"
 	"stamp/internal/scenario"
 	"stamp/internal/sim"
 	"stamp/internal/topology"
@@ -159,7 +160,7 @@ func BenchmarkAblationLock(b *testing.B) {
 		}
 	}
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunLockAblation(g, dest, benchSeed, 0)
+		res, err := experiments.RunLockAblation(g, dest, benchSeed, runner.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -173,7 +174,7 @@ func BenchmarkAblationLock(b *testing.B) {
 func BenchmarkAblationMRAI(b *testing.B) {
 	g := benchGraph(b)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunMRAIAblation(g, 5, benchSeed, 0)
+		res, err := experiments.RunMRAIAblation(g, 5, benchSeed, runner.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,84 +1,16 @@
-// Command asrel infers AS business relationships from observed AS paths
-// using Gao's algorithm (the same inference the paper applies to
-// RouteViews data).
-//
-// Input: one AS path per line, ASNs separated by whitespace.
-//
-// Usage:
-//
-//	asrel -paths paths.txt
-//	topogen -n 500 | ...            # see README for a full pipeline
+// Command asrel is a deprecated shim over `stamp asrel`: infer AS
+// business relationships from observed AS paths using Gao's algorithm.
+// This binary keeps the old flag surface working for one release and
+// will then be removed.
 package main
 
 import (
-	"bufio"
-	"flag"
-	"fmt"
+	"context"
 	"os"
-	"strconv"
-	"strings"
 
-	"stamp/internal/topology"
+	"stamp/internal/cli"
 )
 
 func main() {
-	var (
-		pathsFile = flag.String("paths", "", "file with one AS path per line (default stdin)")
-		ratio     = flag.Float64("ratio", 0, "peering degree-ratio threshold (0 = default)")
-	)
-	flag.Parse()
-
-	in := os.Stdin
-	if *pathsFile != "" {
-		f, err := os.Open(*pathsFile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "asrel:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		in = f
-	}
-
-	var paths [][]topology.ASN
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		fields := strings.Fields(sc.Text())
-		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
-			continue
-		}
-		path := make([]topology.ASN, 0, len(fields))
-		for _, f := range fields {
-			v, err := strconv.ParseInt(f, 10, 32)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "asrel: line %d: bad ASN %q\n", lineNo, f)
-				os.Exit(1)
-			}
-			path = append(path, topology.ASN(v))
-		}
-		paths = append(paths, path)
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "asrel:", err)
-		os.Exit(1)
-	}
-
-	params := topology.DefaultGaoParams()
-	if *ratio > 0 {
-		params.PeerDegreeRatio = *ratio
-	}
-	inferred := topology.InferRelationships(paths, params)
-	for _, ir := range inferred {
-		switch ir.Rel {
-		case topology.InferredAProviderOfB:
-			fmt.Printf("%d|%d|-1\n", ir.A, ir.B)
-		case topology.InferredBProviderOfA:
-			fmt.Printf("%d|%d|-1\n", ir.B, ir.A)
-		case topology.InferredPeer:
-			fmt.Printf("%d|%d|0\n", ir.A, ir.B)
-		}
-	}
-	fmt.Fprintf(os.Stderr, "inferred %d relationships from %d paths\n", len(inferred), len(paths))
+	os.Exit(cli.LegacyAsrel(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
 }

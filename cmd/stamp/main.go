@@ -1,0 +1,31 @@
+// Command stamp is the single operator surface for the whole repository:
+// every experiment in the lab registry, the live emulation, the
+// packet-level workload driver, the topology generator, and the
+// wire-protocol daemon, behind one flag/JSON/progress/exit-code layer.
+//
+// Usage:
+//
+//	stamp list
+//	stamp run figure2 -n 3000 -trials 30 -workers 8
+//	stamp run transient -scenario link-flap -trials 20 -json
+//	stamp run loss -backend emu -n 100 -scenario node-failure
+//	stamp run emu-converge -n 500 -scenario link-flap -json
+//	stamp lab -n 200 -transport tcp
+//	stamp flood -n 400 -scenario two-links-shared -trials 8
+//	stamp topo -n 3000 -seed 7 -o topo.txt
+//	stamp daemon -as 64512 -color blue -listen :1790
+//
+// Exit codes: 0 success, 1 failure (including any sim-vs-live
+// divergence), 2 usage. Ctrl-C cancels in-flight experiment trials
+// promptly.
+package main
+
+import (
+	"os"
+
+	"stamp/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Main(cli.SignalContext(), os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,169 +1,15 @@
-// Command stampd runs one live STAMP routing process (one color) speaking
-// the wire protocol over TCP.
-//
-// A full STAMP router runs two stampd processes, red and blue, on
-// distinct ports — exactly the paper's deployment story.
-//
-// Usage:
-//
-//	stampd -as 64512 -id 1 -color blue -listen :1790 \
-//	       -peer 127.0.0.1:1791,64513,provider \
-//	       -originate 198.51.100.0/24 -lock 64513
-//
-// Peers are addr,AS,rel triples where rel is one of customer, peer,
-// provider (the remote's role from our perspective).
+// Command stampd is a deprecated shim over `stamp daemon`: one live
+// STAMP routing process (one color) speaking the wire protocol over
+// TCP. This binary keeps the old flag surface working for one release
+// and will then be removed.
 package main
 
 import (
-	"flag"
-	"fmt"
-	"log"
 	"os"
-	"os/signal"
-	"strconv"
-	"strings"
-	"syscall"
 
-	"stamp/internal/netd"
-	"stamp/internal/topology"
-	"stamp/internal/wire"
+	"stamp/internal/cli"
 )
 
-type peerFlag struct {
-	addr string
-	as   uint16
-	rel  topology.Rel
-}
-
 func main() {
-	var (
-		asn       = flag.Uint("as", 0, "local AS number (required)")
-		id        = flag.Uint("id", 1, "router ID")
-		color     = flag.String("color", "red", "process color: red or blue")
-		listen    = flag.String("listen", "", "listen address (optional)")
-		originate = flag.String("originate", "", "prefix to originate (optional)")
-		lock      = flag.Uint("lock", 0, "provider AS receiving the locked blue announcement")
-		accept    = flag.String("accept", "", "inbound peers: AS,rel pairs separated by ';'")
-	)
-	var peers []peerFlag
-	flag.Func("peer", "outbound peer as addr,AS,rel (repeatable)", func(v string) error {
-		p, err := parsePeer(v)
-		if err != nil {
-			return err
-		}
-		peers = append(peers, p)
-		return nil
-	})
-	flag.Parse()
-
-	if *asn == 0 || *asn > 65535 {
-		fmt.Fprintln(os.Stderr, "stampd: -as is required (1..65535)")
-		os.Exit(2)
-	}
-	var colorByte byte
-	switch *color {
-	case "red":
-		colorByte = 0
-	case "blue":
-		colorByte = 1
-	default:
-		fmt.Fprintln(os.Stderr, "stampd: -color must be red or blue")
-		os.Exit(2)
-	}
-
-	sp := netd.NewSpeaker(netd.SpeakerConfig{
-		AS:       uint16(*asn),
-		RouterID: uint32(*id),
-		Color:    colorByte,
-		Logf:     log.Printf,
-	})
-	sp.OnChange = func(p wire.Prefix, best *wire.Attrs) {
-		if best == nil {
-			log.Printf("route to %v lost", p)
-			return
-		}
-		log.Printf("best route to %v: path %v lock=%v", p, best.ASPath, best.Lock)
-	}
-
-	if *listen != "" {
-		expect, err := parseAccept(*accept)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "stampd:", err)
-			os.Exit(2)
-		}
-		addr, err := sp.Listen(*listen, expect)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "stampd:", err)
-			os.Exit(1)
-		}
-		log.Printf("listening on %v", addr)
-	}
-	for _, p := range peers {
-		if err := sp.Dial(p.addr, p.as, p.rel); err != nil {
-			fmt.Fprintln(os.Stderr, "stampd:", err)
-			os.Exit(1)
-		}
-		log.Printf("dialing %s (AS%d, %v)", p.addr, p.as, p.rel)
-	}
-	if *originate != "" {
-		pfx := wire.MustPrefix(*originate)
-		sp.Originate(pfx, uint16(*lock))
-		log.Printf("originating %v (lock provider AS%d)", pfx, *lock)
-	}
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	sp.Close()
-}
-
-func parsePeer(v string) (peerFlag, error) {
-	parts := strings.Split(v, ",")
-	if len(parts) != 3 {
-		return peerFlag{}, fmt.Errorf("want addr,AS,rel, got %q", v)
-	}
-	as, err := strconv.ParseUint(parts[1], 10, 16)
-	if err != nil {
-		return peerFlag{}, fmt.Errorf("bad AS %q", parts[1])
-	}
-	rel, err := parseRel(parts[2])
-	if err != nil {
-		return peerFlag{}, err
-	}
-	return peerFlag{addr: parts[0], as: uint16(as), rel: rel}, nil
-}
-
-func parseAccept(v string) (map[uint16]topology.Rel, error) {
-	out := make(map[uint16]topology.Rel)
-	if v == "" {
-		return out, nil
-	}
-	for _, item := range strings.Split(v, ";") {
-		parts := strings.Split(item, ",")
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("accept: want AS,rel, got %q", item)
-		}
-		as, err := strconv.ParseUint(parts[0], 10, 16)
-		if err != nil {
-			return nil, fmt.Errorf("accept: bad AS %q", parts[0])
-		}
-		rel, err := parseRel(parts[1])
-		if err != nil {
-			return nil, err
-		}
-		out[uint16(as)] = rel
-	}
-	return out, nil
-}
-
-func parseRel(s string) (topology.Rel, error) {
-	switch s {
-	case "customer":
-		return topology.RelCustomer, nil
-	case "peer":
-		return topology.RelPeer, nil
-	case "provider":
-		return topology.RelProvider, nil
-	}
-	return topology.RelNone, fmt.Errorf("bad relationship %q (customer|peer|provider)", s)
+	os.Exit(cli.LegacyDaemon(cli.SignalContext(), os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,217 +1,15 @@
-// Command stampflood is the packet-level workload driver: it injects
-// per-source flow batches against a converging routing system and
-// reports time-resolved delivery/loss/stretch curves.
-//
-// The sim backend runs the loss-curve experiment — many random workload
-// instances of a failure scenario, each sampled at virtual-time ticks by
-// the batched data-plane walker, sharded over a worker pool with
-// bit-identical output for any -workers:
-//
-//	stampflood -n 400 -scenario two-links-shared -trials 8 -workers 4
-//	stampflood -n 400 -scenario link-flap -protocol bgp,stamp -json
-//
-// The emu backend drives the same flows through a live fabric of real
-// STAMP speakers (internal/emu) during the same script and
-// differentially validates transient deliverability against the
-// simulator; any per-source divergence in the converged data plane exits
-// nonzero:
-//
-//	stampflood -n 100 -backend emu -scenario link-failure
-//	stampflood -n 60 -backend emu -scenario link-flap -transport tcp
-//
-// Scenarios: link-failure (alias single-link), two-links-apart,
-// two-links-shared, node-failure, link-flap, prefix-withdraw.
+// Command stampflood is a deprecated shim over `stamp flood`: the
+// packet-level workload driver now runs as the lab registry's loss
+// experiment behind the unified cmd/stamp CLI. This binary keeps the
+// old flag surface working for one release and will then be removed.
 package main
 
 import (
-	"encoding/json"
-	"flag"
-	"fmt"
 	"os"
-	"strings"
-	"time"
 
-	"stamp/internal/emu"
-	"stamp/internal/experiments"
-	"stamp/internal/forwarding"
-	"stamp/internal/scenario"
-	"stamp/internal/topology"
-	"stamp/internal/traffic"
+	"stamp/internal/cli"
 )
 
 func main() {
-	var (
-		n         = flag.Int("n", 400, "topology size (ASes) when generating")
-		seed      = flag.Int64("seed", 1, "master seed (topology when generating, workload always)")
-		topo      = flag.String("topo", "", "CAIDA AS-rel file to load instead of generating")
-		scName    = flag.String("scenario", "link-failure", "failure scenario: "+strings.Join(scenario.Names(), ", "))
-		backend   = flag.String("backend", "sim", "injection backend: sim (virtual-time loss curves) or emu (live fabric + parity)")
-		protoCSV  = flag.String("protocol", "all", "sim-backend protocols: all or csv of bgp,rbgp-norci,rbgp,stamp")
-		flows     = flag.Int("flows", 1, "flows per source AS (one packet per flow per tick)")
-		tick      = flag.Duration("tick", 0, "sampling interval (0 = backend default: 25ms virtual, 10ms wall-clock)")
-		ticks     = flag.Int("ticks", 0, "samples per run (0 = backend default: 2400 sim, 150 emu)")
-		trials    = flag.Int("trials", 8, "random workload instances (sim backend)")
-		workers   = flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
-		transport = flag.String("transport", "pipe", "emu-backend session transport: pipe or tcp")
-		jsonOut   = flag.Bool("json", false, "emit results as JSON on stdout")
-		progress  = flag.Bool("progress", false, "report sim-backend shard progress on stderr")
-	)
-	flag.Parse()
-
-	g, err := loadTopology(*topo, *n, *seed)
-	if err != nil {
-		fail(err)
-	}
-
-	switch *backend {
-	case "sim":
-		runSimBackend(g, *scName, *protoCSV, *flows, *tick, *ticks, *trials, *workers, *seed, *jsonOut, *progress)
-	case "emu":
-		runEmuBackend(g, *scName, *transport, *flows, *tick, *ticks, *seed, *jsonOut)
-	default:
-		fail(fmt.Errorf("unknown backend %q (want sim or emu)", *backend))
-	}
-}
-
-// parseProtocols maps the -protocol flag onto experiment protocols.
-func parseProtocols(csv string) ([]experiments.Protocol, error) {
-	if csv == "all" || csv == "" {
-		return experiments.AllProtocols(), nil
-	}
-	back := map[traffic.Protocol]experiments.Protocol{
-		traffic.BGP:       experiments.ProtoBGP,
-		traffic.RBGPNoRCI: experiments.ProtoRBGPNoRCI,
-		traffic.RBGP:      experiments.ProtoRBGP,
-		traffic.STAMP:     experiments.ProtoSTAMP,
-	}
-	var out []experiments.Protocol
-	for _, name := range strings.Split(csv, ",") {
-		tp, err := traffic.ParseProtocol(strings.TrimSpace(name))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, back[tp])
-	}
-	return out, nil
-}
-
-func runSimBackend(g *topology.Graph, scName, protoCSV string, flows int, tick time.Duration, ticks, trials, workers int, seed int64, jsonOut, progress bool) {
-	protos, err := parseProtocols(protoCSV)
-	if err != nil {
-		fail(err)
-	}
-	opts := experiments.LossOpts{
-		G: g, Trials: trials, Seed: seed, Scenario: scName,
-		Protocols: protos, Flows: flows, Tick: tick, Ticks: ticks,
-		Workers: workers,
-	}
-	if progress {
-		opts.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\rloss shards %d/%d", done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
-		}
-	}
-	res, err := experiments.RunLossCurves(opts)
-	if err != nil {
-		fail(err)
-	}
-	if jsonOut {
-		emitJSON(res)
-		return
-	}
-	fmt.Printf("stampflood — %d ASes, %d flows/source, backend sim\n\n", g.Len(), res.Flows)
-	res.Print(os.Stdout)
-}
-
-// parityReport is the JSON document of one emu-backend run (CI archives
-// these as BENCH_*.json artifacts).
-type parityReport struct {
-	Scenario    string               `json:"scenario"`
-	Transport   string               `json:"transport"`
-	Dest        topology.ASN         `json:"dest"`
-	Sim         *traffic.Curve       `json:"sim"`
-	Live        *traffic.Curve       `json:"live"`
-	Divergences []traffic.Divergence `json:"divergences"`
-}
-
-func runEmuBackend(g *topology.Graph, scName, transport string, flows int, tick time.Duration, ticks int, seed int64, jsonOut bool) {
-	script, err := scenario.Named(scName, g, seed)
-	if err != nil {
-		fail(err)
-	}
-	res, err := traffic.RunParity(traffic.EmuOpts{
-		Fabric: emu.Options{Graph: g, Transport: transport},
-		Script: script,
-		Flows:  flows,
-		Tick:   tick,
-		Ticks:  ticks,
-	}, seed)
-	if err != nil {
-		fail(err)
-	}
-	if jsonOut {
-		emitJSON(parityReport{
-			Scenario: scName, Transport: transport, Dest: script.Dest,
-			Sim: res.Sim, Live: res.Live,
-			Divergences: append([]traffic.Divergence{}, res.Divergences...),
-		})
-	} else {
-		emitParityText(g, scName, transport, script, res)
-	}
-	if len(res.Divergences) > 0 {
-		os.Exit(1)
-	}
-}
-
-func emitParityText(g *topology.Graph, scName, transport string, script scenario.Script, res *traffic.ParityResult) {
-	fmt.Printf("stampflood — %d ASes live over %s, scenario %q at destination AS%d, backend emu\n\n",
-		g.Len(), transport, scName, script.Dest)
-	row := func(label string, c *traffic.Curve) {
-		finalBad := 0
-		for _, s := range c.Final.Status {
-			if s != forwarding.Delivered {
-				finalBad++
-			}
-		}
-		fmt.Printf("  %-4s lost %6d packet-ticks (%d transient), %3d sources ever affected, %d undelivered at fixpoint\n",
-			label, c.LostPacketTicks, c.TransientLostPacketTicks, c.EverAffected, finalBad)
-	}
-	row("sim", res.Sim)
-	row("live", res.Live)
-	if len(res.Divergences) == 0 {
-		fmt.Println("\ntransient-deliverability parity: live data plane == sim data plane (0 divergences)")
-		return
-	}
-	fmt.Printf("\ntransient-deliverability parity FAILED: %d divergences\n", len(res.Divergences))
-	for _, d := range res.Divergences {
-		fmt.Printf("  %v\n", d)
-	}
-}
-
-func emitJSON(v any) {
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		fail(err)
-	}
-}
-
-func loadTopology(path string, n int, seed int64) (*topology.Graph, error) {
-	if path == "" {
-		return topology.GenerateDefault(n, seed)
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	g, _, err := topology.ReadASRel(f)
-	return g, err
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "stampflood:", err)
-	os.Exit(1)
+	os.Exit(cli.LegacyFlood(cli.SignalContext(), os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,200 +1,15 @@
-// Command stamplab boots an entire AS topology as live STAMP speakers —
-// one red/blue wire-protocol session pair per link — injects a failure
-// scenario in wall-clock time, waits for the fleet to go quiescent, and
-// differentially validates the live routing tables against the
-// discrete-event simulator on the same topology and scenario. Any
-// divergence exits nonzero: it means the wire, session, or concurrency
-// layers disagree with the protocol logic.
-//
-// Usage:
-//
-//	stamplab -n 200 -transport pipe -scenario link-failure
-//	stamplab -n 500 -scenario link-flap -workers 16 -json
-//	stamplab -n 50 -transport tcp -scenario node-failure
-//	stamplab -topo asrel.txt -scenario prefix-withdraw
-//
-// Scenarios: link-failure (alias single-link), two-links-apart,
-// two-links-shared, node-failure, link-flap, prefix-withdraw.
+// Command stamplab is a deprecated shim over `stamp lab`: the live
+// emulation now runs as the lab registry's emu-converge experiment
+// behind the unified cmd/stamp CLI. This binary keeps the old flag
+// surface working for one release and will then be removed.
 package main
 
 import (
-	"encoding/json"
-	"flag"
-	"fmt"
 	"os"
-	"strings"
 
-	"stamp/internal/bgp"
-	"stamp/internal/emu"
-	"stamp/internal/metrics"
-	"stamp/internal/scenario"
-	"stamp/internal/topology"
+	"stamp/internal/cli"
 )
 
 func main() {
-	var (
-		n         = flag.Int("n", 200, "topology size (ASes) when generating")
-		seed      = flag.Int64("seed", 1, "master seed (topology when generating, workload always)")
-		topo      = flag.String("topo", "", "CAIDA AS-rel file to load instead of generating")
-		scName    = flag.String("scenario", "link-failure", "failure scenario: "+strings.Join(scenario.Names(), ", "))
-		transport = flag.String("transport", "pipe", "session transport: pipe (in-memory, mux) or tcp (loopback)")
-		workers   = flag.Int("workers", 0, "boot worker pool size (0 = default)")
-		diff      = flag.Bool("diff", true, "differentially validate live tables against the simulator")
-		jsonOut   = flag.Bool("json", false, "emit results as JSON on stdout")
-		quiet     = flag.Duration("quiet", 0, "quiescence window override (0 = default)")
-		timeout   = flag.Duration("timeout", 0, "convergence timeout override (0 = default)")
-	)
-	flag.Parse()
-
-	g, err := loadTopology(*topo, *n, *seed)
-	if err != nil {
-		fail(err)
-	}
-	script, err := scenario.Named(*scName, g, *seed)
-	if err != nil {
-		fail(err)
-	}
-
-	res, err := emu.Run(emu.Options{
-		Graph:           g,
-		Transport:       *transport,
-		Workers:         *workers,
-		QuietWindow:     *quiet,
-		ConvergeTimeout: *timeout,
-	}, script)
-	if err != nil {
-		fail(err)
-	}
-
-	var divs []emu.Divergence
-	if *diff {
-		simT, err := emu.SimTables(g, script, emu.ReferenceParams(), *seed)
-		if err != nil {
-			fail(err)
-		}
-		divs = simT.Diff(res.Tables)
-	}
-
-	if *jsonOut {
-		emitJSON(*scName, *transport, script, res, divs, *diff)
-	} else {
-		emitText(*scName, *transport, script, res, divs, *diff)
-	}
-	if len(divs) > 0 {
-		os.Exit(1)
-	}
-}
-
-// report is the JSON document stamplab emits (one per run; CI archives
-// these as BENCH_*.json artifacts).
-type report struct {
-	Scenario   string           `json:"scenario"`
-	Transport  string           `json:"transport"`
-	Dest       topology.ASN     `json:"dest"`
-	Stats      emu.Stats        `json:"stats"`
-	BootMs     float64          `json:"boot_ms"`
-	InitialMs  float64          `json:"initial_convergence_ms"`
-	ScenarioMs float64          `json:"scenario_convergence_ms"`
-	RedRoutes  int              `json:"red_routes"`
-	BlueRoutes int              `json:"blue_routes"`
-	ConvCDF    *cdfSummary      `json:"scenario_convergence_cdf,omitempty"`
-	DiffRan    bool             `json:"diff_ran"`
-	Diverged   []emu.Divergence `json:"divergences"`
-}
-
-// cdfSummary condenses the per-AS wall-clock convergence CDF.
-type cdfSummary struct {
-	ASesChanged int     `json:"ases_changed"`
-	MeanMs      float64 `json:"mean_ms"`
-	P50Ms       float64 `json:"p50_ms"`
-	P90Ms       float64 `json:"p90_ms"`
-	MaxMs       float64 `json:"max_ms"`
-}
-
-func summarize(c *metrics.CDF) *cdfSummary {
-	if c == nil || c.Len() == 0 {
-		return nil
-	}
-	return &cdfSummary{
-		ASesChanged: c.Len(),
-		MeanMs:      1e3 * c.Mean(),
-		P50Ms:       1e3 * c.Quantile(0.5),
-		P90Ms:       1e3 * c.Quantile(0.9),
-		MaxMs:       1e3 * c.Quantile(1),
-	}
-}
-
-func buildReport(scName, transport string, script scenario.Script, res *emu.Result, divs []emu.Divergence, diffRan bool) report {
-	if divs == nil {
-		divs = []emu.Divergence{}
-	}
-	return report{
-		Scenario:   scName,
-		Transport:  transport,
-		Dest:       script.Dest,
-		Stats:      res.Stats,
-		BootMs:     float64(res.Boot) / 1e6,
-		InitialMs:  float64(res.InitialConvergence) / 1e6,
-		ScenarioMs: float64(res.ScenarioConvergence) / 1e6,
-		RedRoutes:  res.Tables.Routes(bgp.ColorRed),
-		BlueRoutes: res.Tables.Routes(bgp.ColorBlue),
-		ConvCDF:    summarize(res.ConvCDF),
-		DiffRan:    diffRan,
-		Diverged:   divs,
-	}
-}
-
-func emitJSON(scName, transport string, script scenario.Script, res *emu.Result, divs []emu.Divergence, diffRan bool) {
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(buildReport(scName, transport, script, res, divs, diffRan)); err != nil {
-		fail(err)
-	}
-}
-
-func emitText(scName, transport string, script scenario.Script, res *emu.Result, divs []emu.Divergence, diffRan bool) {
-	r := buildReport(scName, transport, script, res, divs, diffRan)
-	fmt.Printf("stamplab — %d ASes, %d links, %d live sessions over %s\n",
-		r.Stats.ASes, r.Stats.Links, r.Stats.Sessions, r.Transport)
-	fmt.Printf("scenario %q at destination AS%d\n\n", r.Scenario, r.Dest)
-	fmt.Printf("  boot (wire + establish all)  %8.1f ms\n", r.BootMs)
-	fmt.Printf("  initial convergence          %8.1f ms\n", r.InitialMs)
-	fmt.Printf("  scenario convergence         %8.1f ms\n", r.ScenarioMs)
-	fmt.Printf("  updates sent                 %8d   (dropped in severed transit: %d)\n",
-		r.Stats.Updates, r.Stats.Dropped)
-	fmt.Printf("  final routes                 %8d red, %d blue\n", r.RedRoutes, r.BlueRoutes)
-	if r.ConvCDF != nil {
-		fmt.Printf("  per-AS convergence           mean %.1f ms, p50 %.1f ms, p90 %.1f ms, max %.1f ms (%d ASes changed)\n",
-			r.ConvCDF.MeanMs, r.ConvCDF.P50Ms, r.ConvCDF.P90Ms, r.ConvCDF.MaxMs, r.ConvCDF.ASesChanged)
-	}
-	if !diffRan {
-		fmt.Println("\ndifferential validation skipped (-diff=false)")
-		return
-	}
-	if len(divs) == 0 {
-		fmt.Println("\ndifferential validation: live tables == simulator tables (0 divergences)")
-		return
-	}
-	fmt.Printf("\ndifferential validation FAILED: %d divergences\n", len(divs))
-	for _, d := range divs {
-		fmt.Printf("  %v\n", d)
-	}
-}
-
-func loadTopology(path string, n int, seed int64) (*topology.Graph, error) {
-	if path == "" {
-		return topology.GenerateDefault(n, seed)
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	g, _, err := topology.ReadASRel(f)
-	return g, err
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "stamplab:", err)
-	os.Exit(1)
+	os.Exit(cli.LegacyLab(cli.SignalContext(), os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,316 +1,15 @@
-// Command stampsim regenerates the paper's experiments on a synthetic or
-// loaded AS topology, sharding trials across a worker pool. Results are
-// bit-identical for any -workers value; see internal/runner.
-//
-// Usage:
-//
-//	stampsim -exp figure2 -n 3000 -trials 30 -workers 8
-//	stampsim -exp all -n 1000 -trials 10
-//	stampsim -exp figure1 -topo asrel.txt
-//	stampsim -exp transient -scenario two-links-shared -trials 50 -json
-//	stampsim -exp sweep -topo-seeds 1,2,3 -trials 20 -progress
-//
-// Experiments: figure1, figure1-intelligent, figure2, figure3a, figure3b,
-// node-failure, transient, sweep, partial, overhead, convergence,
-// ablation-lock, ablation-mrai, all.
+// Command stampsim is a deprecated shim over `stamp run`: the paper's
+// experiments now live in the internal/lab registry behind the unified
+// cmd/stamp CLI. This binary keeps the old -exp flag surface working
+// for one release and will then be removed.
 package main
 
 import (
-	"encoding/json"
-	"flag"
-	"fmt"
-	"io"
 	"os"
-	"strconv"
-	"strings"
 
-	"stamp/internal/disjoint"
-	"stamp/internal/experiments"
-	"stamp/internal/runner"
-	"stamp/internal/scenario"
-	"stamp/internal/topology"
+	"stamp/internal/cli"
 )
 
 func main() {
-	var (
-		exp       = flag.String("exp", "all", "experiment to run")
-		n         = flag.Int("n", 1000, "topology size (ASes) when generating")
-		seed      = flag.Int64("seed", 1, "master random seed")
-		trials    = flag.Int("trials", 10, "failure trials per scenario")
-		topo      = flag.String("topo", "", "CAIDA AS-rel file to load instead of generating")
-		workers   = flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
-		scenario  = flag.String("scenario", "", "failure scenario for -exp transient/sweep: single-link, two-links-apart, two-links-shared, node-failure")
-		jsonOut   = flag.Bool("json", false, "emit results as JSON on stdout")
-		progress  = flag.Bool("progress", false, "report trial progress on stderr")
-		topoSeeds = flag.String("topo-seeds", "1,2,3", "comma-separated topology seeds for -exp sweep")
-	)
-	flag.Parse()
-
-	out := &output{json: *jsonOut}
-	// The sweep builds its own topologies from -topo-seeds, so loading is
-	// deferred until an experiment actually needs the -topo/-n graph (and
-	// the banner describes only a topology that was really used).
-	var g *topology.Graph
-	getG := func() (*topology.Graph, error) {
-		if g != nil {
-			return g, nil
-		}
-		var err error
-		if g, err = loadTopology(*topo, *n, *seed); err != nil {
-			return nil, err
-		}
-		if !*jsonOut {
-			fmt.Printf("topology: %d ASes, %d links, %d tier-1s\n\n", g.Len(), g.EdgeCount(), len(g.Tier1s()))
-		}
-		return g, nil
-	}
-
-	prog := func(done, total int) {}
-	if *progress {
-		// The runner counts shards (trials × protocols for transient
-		// experiments), not -trials.
-		prog = func(done, total int) { fmt.Fprintf(os.Stderr, "\r%d/%d shards", done, total) }
-	}
-	progDone := func() {
-		if *progress {
-			fmt.Fprintln(os.Stderr)
-		}
-	}
-
-	transientOpts := func(g *topology.Graph, sc experiments.Scenario, protos []experiments.Protocol) experiments.TransientOpts {
-		return experiments.TransientOpts{
-			G: g, Trials: *trials, Seed: *seed, Scenario: sc,
-			Protocols: protos, Workers: *workers, Progress: prog,
-		}
-	}
-	transient := func(name string, sc experiments.Scenario) error {
-		g, err := getG()
-		if err != nil {
-			return err
-		}
-		res, err := experiments.RunTransient(transientOpts(g, sc, nil))
-		progDone()
-		if err != nil {
-			return err
-		}
-		out.add(name, res)
-		return nil
-	}
-
-	run := func(name string) error {
-		// Every case except sweep runs on the -topo/-n graph; sweep is
-		// handled before the graph is touched.
-		switch name {
-		case "sweep":
-			if *topo != "" {
-				return fmt.Errorf("-exp sweep generates its own topologies from -n and -topo-seeds; -topo is not supported")
-			}
-			seeds, err := parseSeeds(*topoSeeds)
-			if err != nil {
-				return err
-			}
-			var scenarios []experiments.Scenario
-			if *scenario != "" {
-				sc, err := parseScenario(*scenario)
-				if err != nil {
-					return err
-				}
-				scenarios = []experiments.Scenario{sc}
-			}
-			res, err := experiments.RunSweep(experiments.SweepOpts{
-				N: *n, TopoSeeds: seeds, Scenarios: scenarios,
-				Trials: *trials, Seed: *seed, Workers: *workers, Progress: prog,
-			})
-			progDone()
-			if err != nil {
-				return err
-			}
-			out.add(name, res)
-			return nil
-		}
-		g, err := getG()
-		if err != nil {
-			return err
-		}
-		switch name {
-		case "figure1", "figure1-intelligent":
-			res, err := experiments.RunFigure1With(g, disjoint.DefaultPhiOpts(),
-				name == "figure1-intelligent", runner.Options{Workers: *workers, Progress: prog})
-			progDone()
-			if err != nil {
-				return err
-			}
-			out.add(name, res)
-		case "figure2":
-			return transient(name, experiments.ScenarioSingleLink)
-		case "figure3a":
-			return transient(name, experiments.ScenarioTwoLinksApart)
-		case "figure3b":
-			return transient(name, experiments.ScenarioTwoLinksShared)
-		case "node-failure":
-			return transient(name, experiments.ScenarioNodeFailure)
-		case "transient":
-			sc, err := parseScenario(*scenario)
-			if err != nil {
-				return err
-			}
-			return transient(name, sc)
-		case "partial":
-			out.add(name, experiments.RunPartialDeployment(g))
-		case "overhead":
-			res, err := experiments.RunTransient(transientOpts(g, experiments.ScenarioSingleLink,
-				[]experiments.Protocol{experiments.ProtoBGP, experiments.ProtoSTAMP}))
-			progDone()
-			if err != nil {
-				return err
-			}
-			o, err := res.Overhead()
-			if err != nil {
-				return err
-			}
-			out.add(name, o)
-		case "convergence":
-			res, err := experiments.RunTransient(transientOpts(g, experiments.ScenarioSingleLink,
-				[]experiments.Protocol{experiments.ProtoBGP, experiments.ProtoSTAMP}))
-			progDone()
-			if err != nil {
-				return err
-			}
-			c, err := res.Convergence()
-			if err != nil {
-				return err
-			}
-			out.add(name, c)
-		case "ablation-lock":
-			r, err := experiments.RunLockAblation(g, firstMultihomed(g), *seed, *workers)
-			if err != nil {
-				return err
-			}
-			out.add(name, r)
-		case "ablation-mrai":
-			r, err := experiments.RunMRAIAblation(g, *trials, *seed, *workers)
-			if err != nil {
-				return err
-			}
-			out.add(name, r)
-		default:
-			return fmt.Errorf("unknown experiment %q", name)
-		}
-		return nil
-	}
-
-	names := []string{*exp}
-	if *exp == "all" {
-		names = []string{
-			"figure1", "figure1-intelligent", "figure2", "figure3a",
-			"figure3b", "partial", "overhead", "convergence",
-			"ablation-lock", "ablation-mrai",
-		}
-	}
-	for _, name := range names {
-		if err := run(name); err != nil {
-			// Emit whatever completed before failing, so long multi-
-			// experiment runs don't lose finished results.
-			if ferr := out.flush(); ferr != nil {
-				fmt.Fprintln(os.Stderr, "stampsim:", ferr)
-			}
-			fail(err)
-		}
-	}
-	if err := out.flush(); err != nil {
-		fail(err)
-	}
-}
-
-// output collects named results and renders them as text sections or one
-// JSON document.
-type output struct {
-	json    bool
-	results []namedResult
-}
-
-type namedResult struct {
-	Experiment string `json:"experiment"`
-	Result     any    `json:"result"`
-}
-
-// printer is what every experiment result implements for text output.
-type printer interface{ Print(w io.Writer) }
-
-// add records a result. In text mode it prints immediately, so a failure
-// in a later experiment never discards completed output; JSON mode
-// buffers until flush because the document is one array.
-func (o *output) add(name string, res any) {
-	if !o.json {
-		if p, ok := res.(printer); ok {
-			p.Print(os.Stdout)
-		} else {
-			fmt.Printf("%+v\n", res)
-		}
-		fmt.Println()
-		return
-	}
-	o.results = append(o.results, namedResult{Experiment: name, Result: res})
-}
-
-func (o *output) flush() error {
-	if !o.json || len(o.results) == 0 {
-		return nil
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(o.results)
-}
-
-func parseScenario(s string) (experiments.Scenario, error) {
-	if s == "" {
-		return experiments.ScenarioSingleLink, nil
-	}
-	return scenario.ParseKind(s)
-}
-
-func parseSeeds(s string) ([]int64, error) {
-	var out []int64
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		v, err := strconv.ParseInt(part, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad topo seed %q: %w", part, err)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no topology seeds given")
-	}
-	return out, nil
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "stampsim:", err)
-	os.Exit(1)
-}
-
-func loadTopology(path string, n int, seed int64) (*topology.Graph, error) {
-	if path == "" {
-		return topology.GenerateDefault(n, seed)
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	g, _, err := topology.ReadASRel(f)
-	return g, err
-}
-
-func firstMultihomed(g *topology.Graph) topology.ASN {
-	for a := 0; a < g.Len(); a++ {
-		if g.IsMultihomed(topology.ASN(a)) {
-			return topology.ASN(a)
-		}
-	}
-	return 0
+	os.Exit(cli.LegacySim(cli.SignalContext(), os.Args[1:], os.Stdout, os.Stderr))
 }

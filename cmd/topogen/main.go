@@ -1,72 +1,15 @@
-// Command topogen generates a synthetic Internet-like AS topology and
-// writes it in CAIDA AS-relationship format.
-//
-// Usage:
-//
-//	topogen -n 3000 -seed 7 -o topo.txt
+// Command topogen is a deprecated shim over `stamp topo`. This binary
+// keeps the old flag surface working for one release and will then be
+// removed.
 package main
 
 import (
-	"flag"
-	"fmt"
+	"context"
 	"os"
 
-	"stamp/internal/topology"
+	"stamp/internal/cli"
 )
 
 func main() {
-	var (
-		n        = flag.Int("n", 1000, "number of ASes")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		out      = flag.String("o", "", "output file (default stdout)")
-		tier1    = flag.Int("tier1", 0, "tier-1 count (0 = auto)")
-		multi    = flag.Float64("multihome", 0, "multihoming probability (0 = default)")
-		validate = flag.Bool("stats", false, "print topology statistics to stderr")
-	)
-	flag.Parse()
-
-	p := topology.DefaultGenParams(*n, *seed)
-	if *tier1 > 0 {
-		p.Tier1 = *tier1
-	}
-	if *multi > 0 {
-		p.MultihomeProb = *multi
-	}
-	g, err := topology.Generate(p)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "topogen:", err)
-		os.Exit(1)
-	}
-
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "topogen:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
-	}
-	if err := topology.WriteASRel(w, g); err != nil {
-		fmt.Fprintln(os.Stderr, "topogen:", err)
-		os.Exit(1)
-	}
-
-	if *validate {
-		tiers := g.Tiers()
-		maxTier := 0
-		multihomed := 0
-		for a := 0; a < g.Len(); a++ {
-			if tiers[a] > maxTier {
-				maxTier = tiers[a]
-			}
-			if g.IsMultihomed(topology.ASN(a)) {
-				multihomed++
-			}
-		}
-		fmt.Fprintf(os.Stderr, "ASes: %d, links: %d, tier-1s: %d, max tier: %d, multihomed: %.1f%%\n",
-			g.Len(), g.EdgeCount(), len(g.Tier1s()), maxTier,
-			100*float64(multihomed)/float64(g.Len()))
-	}
+	os.Exit(cli.LegacyTopogen(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -84,7 +84,7 @@ func main() {
 
 	// Differential validation: the live fleet must have converged to the
 	// simulator's exact tables on the same topology and script.
-	simT, err := emu.SimTables(g, script, emu.ReferenceParams(), 1)
+	simT, err := emu.SimTables(nil, g, script, emu.ReferenceParams(), 1)
 	if err != nil {
 		log.Fatal(err)
 	}

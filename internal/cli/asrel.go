@@ -1,0 +1,79 @@
+package cli
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"stamp/internal/topology"
+)
+
+// cmdAsrel is `stamp asrel`: infer AS business relationships from
+// observed AS paths using Gao's algorithm (the same inference the paper
+// applies to RouteViews data). Input is one AS path per line, ASNs
+// separated by whitespace; output is CAIDA AS-rel lines.
+func (e env) cmdAsrel(args []string) int {
+	fs := e.flagSet("stamp asrel")
+	var (
+		pathsFile = fs.String("paths", "", "file with one AS path per line (default stdin)")
+		ratio     = fs.Float64("ratio", 0, "peering degree-ratio threshold (0 = default)")
+	)
+	if code, done := parse(fs, args); done {
+		return code
+	}
+
+	var in io.Reader = os.Stdin
+	if *pathsFile != "" {
+		f, err := os.Open(*pathsFile)
+		if err != nil {
+			return e.fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	var paths [][]topology.ASN
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		path := make([]topology.ASN, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.ParseInt(f, 10, 32)
+			if err != nil {
+				return e.fail(fmt.Errorf("line %d: bad ASN %q", lineNo, f))
+			}
+			path = append(path, topology.ASN(v))
+		}
+		paths = append(paths, path)
+	}
+	if err := sc.Err(); err != nil {
+		return e.fail(err)
+	}
+
+	params := topology.DefaultGaoParams()
+	if *ratio > 0 {
+		params.PeerDegreeRatio = *ratio
+	}
+	inferred := topology.InferRelationships(paths, params)
+	for _, ir := range inferred {
+		switch ir.Rel {
+		case topology.InferredAProviderOfB:
+			fmt.Fprintf(e.stdout, "%d|%d|-1\n", ir.A, ir.B)
+		case topology.InferredBProviderOfA:
+			fmt.Fprintf(e.stdout, "%d|%d|-1\n", ir.B, ir.A)
+		case topology.InferredPeer:
+			fmt.Fprintf(e.stdout, "%d|%d|0\n", ir.A, ir.B)
+		}
+	}
+	fmt.Fprintf(e.stderr, "inferred %d relationships from %d paths\n", len(inferred), len(paths))
+	return ExitOK
+}

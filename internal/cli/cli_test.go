@@ -1,0 +1,149 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"stamp/internal/lab"
+)
+
+// run drives the full CLI in-process: argv to exit code, capturing both
+// streams.
+func run(t *testing.T, argv ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = Main(context.Background(), argv, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// TestExitCodes pins the operator contract: 0 success, 1 failure, 2
+// usage — identical across subcommands.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		argv []string
+		want int
+	}{
+		{"no args", nil, ExitUsage},
+		{"unknown subcommand", []string{"frobnicate"}, ExitUsage},
+		{"run without experiment", []string{"run"}, ExitUsage},
+		{"run unknown experiment", []string{"run", "no-such-harness"}, ExitUsage},
+		{"run bad flag", []string{"run", "transient", "-badflag"}, ExitUsage},
+		{"run bad scenario", []string{"run", "transient", "-scenario", "meteor-strike", "-n", "50"}, ExitFailure},
+		{"bad topo seeds", []string{"run", "sweep", "-topo-seeds", "x"}, ExitUsage},
+		{"help", []string{"help"}, ExitOK},
+		{"subcommand -h is success", []string{"run", "transient", "-h"}, ExitOK},
+		{"run -h is success", []string{"run", "-h"}, ExitOK},
+		{"topo -h is success", []string{"topo", "-h"}, ExitOK},
+		{"daemon bad originate", []string{"daemon", "-as", "64512", "-originate", "not-a-prefix"}, ExitUsage},
+		{"loss emu rejects non-stamp protocol", []string{"flood", "-backend", "emu", "-n", "40", "-protocol", "bgp"}, ExitFailure},
+		{"list", []string{"list"}, ExitOK},
+		{"run ok", []string{"run", "partial", "-n", "60"}, ExitOK},
+		{"flood bad backend", []string{"flood", "-backend", "quantum", "-n", "50"}, ExitFailure},
+		{"topo ok", []string{"topo", "-n", "30"}, ExitOK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := run(t, tc.argv...)
+			if code != tc.want {
+				t.Errorf("argv %v: exit %d, want %d (stderr: %s)", tc.argv, code, tc.want, stderr)
+			}
+		})
+	}
+}
+
+// TestDivergenceExitCode: a result carrying divergences exits 1 even
+// though the run itself succeeded — parity failure is failure.
+func TestDivergenceExitCode(t *testing.T) {
+	var out, errw bytes.Buffer
+	e := env{ctx: context.Background(), stdout: &out, stderr: &errw}
+	if code := e.emit(&lab.Result{SchemaVersion: lab.SchemaVersion, Divergences: 2}, true); code != ExitFailure {
+		t.Errorf("divergent result: exit %d, want %d", code, ExitFailure)
+	}
+	if !strings.Contains(errw.String(), "divergences") {
+		t.Errorf("stderr %q does not mention divergences", errw.String())
+	}
+	if code := e.emit(&lab.Result{SchemaVersion: lab.SchemaVersion}, true); code != ExitOK {
+		t.Errorf("clean result: exit %d, want %d", code, ExitOK)
+	}
+}
+
+// TestRunJSONByteIdenticalAcrossWorkers: the acceptance criterion at
+// the CLI layer — `stamp run <exp> -json` emits byte-identical output
+// for any -workers value.
+func TestRunJSONByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	var snaps []string
+	for _, workers := range []string{"1", "4"} {
+		code, stdout, stderr := run(t, "run", "figure2",
+			"-n", "120", "-trials", "2", "-seed", "5", "-workers", workers, "-json")
+		if code != ExitOK {
+			t.Fatalf("workers=%s: exit %d (stderr: %s)", workers, code, stderr)
+		}
+		snaps = append(snaps, stdout)
+	}
+	if snaps[0] != snaps[1] {
+		t.Errorf("stamp run -json differs between -workers 1 and 4:\n%.300s\n%.300s", snaps[0], snaps[1])
+	}
+	// The output is the versioned envelope.
+	var env struct {
+		SchemaVersion int    `json:"schema_version"`
+		Experiment    string `json:"experiment"`
+	}
+	if err := json.Unmarshal([]byte(snaps[0]), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.SchemaVersion != lab.SchemaVersion || env.Experiment != "figure2" {
+		t.Errorf("envelope = %+v", env)
+	}
+}
+
+// TestListCoversRegistry: `stamp list` prints every registered
+// experiment.
+func TestListCoversRegistry(t *testing.T) {
+	code, stdout, _ := run(t, "list")
+	if code != ExitOK {
+		t.Fatalf("list exit %d", code)
+	}
+	for _, name := range lab.Names() {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("stamp list output missing %q", name)
+		}
+	}
+}
+
+// TestLegacyShims: the deprecated binaries' entry points still work and
+// point at their replacements.
+func TestLegacyShims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	var out, errw bytes.Buffer
+	if code := LegacySim(context.Background(), []string{"-exp", "partial", "-n", "60", "-json"}, &out, &errw); code != ExitOK {
+		t.Fatalf("LegacySim exit %d (stderr: %s)", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "deprecated") {
+		t.Errorf("no deprecation notice: %s", errw.String())
+	}
+	var results []json.RawMessage
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil || len(results) != 1 {
+		t.Errorf("legacy JSON is not a one-element array: %v (%.200s)", err, out.String())
+	}
+	out.Reset()
+	errw.Reset()
+	if code := LegacyTopogen(context.Background(), []string{"-n", "30"}, &out, &errw); code != ExitOK {
+		t.Fatalf("LegacyTopogen exit %d", code)
+	}
+	// Old stampsim spellings for the ablations map onto the registry's
+	// slash names.
+	out.Reset()
+	errw.Reset()
+	if code := LegacySim(context.Background(), []string{"-exp", "ablation-lock", "-n", "60"}, &out, &errw); code != ExitOK {
+		t.Fatalf("LegacySim ablation-lock exit %d (stderr: %s)", code, errw.String())
+	}
+}

@@ -1,0 +1,167 @@
+package cli
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"stamp/internal/netd"
+	"stamp/internal/topology"
+	"stamp/internal/wire"
+)
+
+// cmdDaemon is `stamp daemon`: one live STAMP routing process (one
+// color) speaking the wire protocol over TCP. A full STAMP router runs
+// two daemons, red and blue, on distinct ports — exactly the paper's
+// deployment story.
+//
+// Peers are addr,AS,rel triples where rel is one of customer, peer,
+// provider (the remote's role from our perspective).
+func (e env) cmdDaemon(args []string) int {
+	fs := e.flagSet("stamp daemon")
+	var (
+		asn       = fs.Uint("as", 0, "local AS number (required)")
+		id        = fs.Uint("id", 1, "router ID")
+		color     = fs.String("color", "red", "process color: red or blue")
+		listen    = fs.String("listen", "", "listen address (optional)")
+		originate = fs.String("originate", "", "prefix to originate (optional)")
+		lock      = fs.Uint("lock", 0, "provider AS receiving the locked blue announcement")
+		accept    = fs.String("accept", "", "inbound peers: AS,rel pairs separated by ';'")
+	)
+	var peers []peerFlag
+	fs.Func("peer", "outbound peer as addr,AS,rel (repeatable)", func(v string) error {
+		p, err := parsePeer(v)
+		if err != nil {
+			return err
+		}
+		peers = append(peers, p)
+		return nil
+	})
+	if code, done := parse(fs, args); done {
+		return code
+	}
+
+	if *asn == 0 || *asn > 65535 {
+		fmt.Fprintln(e.stderr, "stamp daemon: -as is required (1..65535)")
+		return ExitUsage
+	}
+	var colorByte byte
+	switch *color {
+	case "red":
+		colorByte = 0
+	case "blue":
+		colorByte = 1
+	default:
+		fmt.Fprintln(e.stderr, "stamp daemon: -color must be red or blue")
+		return ExitUsage
+	}
+
+	logger := log.New(e.stderr, "", log.LstdFlags)
+	sp := netd.NewSpeaker(netd.SpeakerConfig{
+		AS:       uint16(*asn),
+		RouterID: uint32(*id),
+		Color:    colorByte,
+		Logf:     logger.Printf,
+	})
+	sp.OnChange = func(p wire.Prefix, best *wire.Attrs) {
+		if best == nil {
+			logger.Printf("route to %v lost", p)
+			return
+		}
+		logger.Printf("best route to %v: path %v lock=%v", p, best.ASPath, best.Lock)
+	}
+
+	if *listen != "" {
+		expect, err := parseAccept(*accept)
+		if err != nil {
+			fmt.Fprintln(e.stderr, "stamp daemon:", err)
+			return ExitUsage
+		}
+		addr, err := sp.Listen(*listen, expect)
+		if err != nil {
+			return e.fail(err)
+		}
+		logger.Printf("listening on %v", addr)
+	}
+	for _, p := range peers {
+		if err := sp.Dial(p.addr, p.as, p.rel); err != nil {
+			return e.fail(err)
+		}
+		logger.Printf("dialing %s (AS%d, %v)", p.addr, p.as, p.rel)
+	}
+	if *originate != "" {
+		p, err := netip.ParsePrefix(*originate)
+		if err != nil {
+			fmt.Fprintln(e.stderr, "stamp daemon: bad -originate prefix:", err)
+			return ExitUsage
+		}
+		pfx := wire.Prefix{Addr: p.Addr(), Bits: p.Bits()}
+		sp.Originate(pfx, uint16(*lock))
+		logger.Printf("originating %v (lock provider AS%d)", pfx, *lock)
+	}
+
+	// Run until the process context (Ctrl-C / SIGTERM in cmd/stamp) is
+	// canceled, then close every session cleanly.
+	<-e.ctx.Done()
+	sp.Close()
+	return ExitOK
+}
+
+type peerFlag struct {
+	addr string
+	as   uint16
+	rel  topology.Rel
+}
+
+func parsePeer(v string) (peerFlag, error) {
+	parts := strings.Split(v, ",")
+	if len(parts) != 3 {
+		return peerFlag{}, fmt.Errorf("want addr,AS,rel, got %q", v)
+	}
+	as, err := strconv.ParseUint(parts[1], 10, 16)
+	if err != nil {
+		return peerFlag{}, fmt.Errorf("bad AS %q", parts[1])
+	}
+	rel, err := parseRel(parts[2])
+	if err != nil {
+		return peerFlag{}, err
+	}
+	return peerFlag{addr: parts[0], as: uint16(as), rel: rel}, nil
+}
+
+func parseAccept(v string) (map[uint16]topology.Rel, error) {
+	out := make(map[uint16]topology.Rel)
+	if v == "" {
+		return out, nil
+	}
+	for _, item := range strings.Split(v, ";") {
+		parts := strings.Split(item, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("accept: want AS,rel, got %q", item)
+		}
+		as, err := strconv.ParseUint(parts[0], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("accept: bad AS %q", parts[0])
+		}
+		rel, err := parseRel(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		out[uint16(as)] = rel
+	}
+	return out, nil
+}
+
+func parseRel(s string) (topology.Rel, error) {
+	switch s {
+	case "customer":
+		return topology.RelCustomer, nil
+	case "peer":
+		return topology.RelPeer, nil
+	case "provider":
+		return topology.RelProvider, nil
+	}
+	return topology.RelNone, fmt.Errorf("bad relationship %q (customer|peer|provider)", s)
+}

@@ -1,0 +1,139 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"stamp/internal/lab"
+)
+
+// Legacy shims: the pre-stamp binaries (stampsim, stamplab, stampflood,
+// topogen, stampd) forward here for one deprecation release. Each maps
+// its old flag surface onto the unified subcommand and prints a pointer
+// to the replacement on stderr.
+
+// deprecated notes the replacement command once per invocation.
+func deprecated(stderr io.Writer, old, new string) {
+	fmt.Fprintf(stderr, "%s is deprecated; use `%s` (flags compatible, exit codes and defaults unified — see the README migration table)\n", old, new)
+}
+
+// LegacyLab is the old stamplab entry point.
+func LegacyLab(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
+	deprecated(stderr, "stamplab", "stamp lab")
+	return Main(ctx, append([]string{"lab"}, argv...), stdout, stderr)
+}
+
+// LegacyFlood is the old stampflood entry point. stampflood defaulted
+// to 8 trials where the unified CLI defaults to 10; the injected
+// -trials keeps legacy invocations byte-compatible (an explicit user
+// -trials later in argv wins — the flag package takes the last value).
+func LegacyFlood(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
+	deprecated(stderr, "stampflood", "stamp flood")
+	return Main(ctx, append([]string{"flood", "-trials", "8"}, argv...), stdout, stderr)
+}
+
+// LegacyTopogen is the old topogen entry point.
+func LegacyTopogen(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
+	deprecated(stderr, "topogen", "stamp topo")
+	return Main(ctx, append([]string{"topo"}, argv...), stdout, stderr)
+}
+
+// LegacyAsrel is the old asrel entry point.
+func LegacyAsrel(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
+	deprecated(stderr, "asrel", "stamp asrel")
+	return Main(ctx, append([]string{"asrel"}, argv...), stdout, stderr)
+}
+
+// LegacyDaemon is the old stampd entry point.
+func LegacyDaemon(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
+	deprecated(stderr, "stampd", "stamp daemon")
+	return Main(ctx, append([]string{"daemon"}, argv...), stdout, stderr)
+}
+
+// legacySimAll is the experiment sequence `stampsim -exp all` ran.
+var legacySimAll = []string{
+	"figure1", "figure1-intelligent", "figure2", "figure3a",
+	"figure3b", "partial", "overhead", "convergence",
+	"ablation/lock", "ablation/mrai",
+}
+
+// legacySimNames maps old stampsim -exp spellings onto registry names.
+var legacySimNames = map[string]string{
+	"ablation-lock": "ablation/lock",
+	"ablation-mrai": "ablation/mrai",
+}
+
+// LegacySim is the old stampsim entry point: the -exp flag surface
+// mapped onto the lab registry. JSON mode emits an array of result
+// envelopes (the old format was an array too; the element shape is now
+// the versioned lab.Result).
+func LegacySim(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
+	deprecated(stderr, "stampsim", "stamp run <experiment>")
+	e := env{ctx: ctx, stdout: stdout, stderr: stderr}
+	fs := e.flagSet("stampsim")
+	exp := fs.String("exp", "all", "experiment to run")
+	f := addRequestFlags(fs)
+	if code, done := parse(fs, argv); done {
+		return code
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = legacySimAll
+	}
+	var results []*lab.Result
+	divergences := 0
+	for _, name := range names {
+		if mapped, ok := legacySimNames[name]; ok {
+			name = mapped
+		}
+		if _, ok := lab.Get(name); !ok {
+			fmt.Fprintf(stderr, "stampsim: unknown experiment %q\n", name)
+			return ExitUsage
+		}
+		req, err := f.request(e, name)
+		if err != nil {
+			fmt.Fprintln(stderr, "stampsim:", err)
+			return ExitUsage
+		}
+		res, err := lab.Run(req)
+		if err != nil {
+			// Emit whatever completed before failing, so long multi-
+			// experiment runs don't lose finished results.
+			if *f.jsonOut && len(results) > 0 {
+				emitJSONArray(e, results)
+			}
+			return e.fail(err)
+		}
+		divergences += res.Divergences
+		if *f.jsonOut {
+			results = append(results, res)
+		} else {
+			res.Print(stdout)
+			fmt.Fprintln(stdout)
+		}
+	}
+	if *f.jsonOut {
+		if code := emitJSONArray(e, results); code != ExitOK {
+			return code
+		}
+	}
+	// Same contract as every stamp subcommand: a sim-vs-live divergence
+	// is a failure even when the run itself completed.
+	if divergences > 0 {
+		fmt.Fprintf(stderr, "stampsim: %d sim-vs-live divergences\n", divergences)
+		return ExitFailure
+	}
+	return ExitOK
+}
+
+func emitJSONArray(e env, results []*lab.Result) int {
+	enc := json.NewEncoder(e.stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		return e.fail(err)
+	}
+	return ExitOK
+}

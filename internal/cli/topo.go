@@ -1,0 +1,68 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"stamp/internal/topology"
+)
+
+// cmdTopo is `stamp topo`: generate a synthetic Internet-like AS
+// topology and write it in CAIDA AS-relationship format.
+func (e env) cmdTopo(args []string) int {
+	fs := e.flagSet("stamp topo")
+	var (
+		n        = fs.Int("n", 1000, "number of ASes")
+		seed     = fs.Int64("seed", 1, "generator seed")
+		out      = fs.String("o", "", "output file (default stdout)")
+		tier1    = fs.Int("tier1", 0, "tier-1 count (0 = auto)")
+		multi    = fs.Float64("multihome", 0, "multihoming probability (0 = default)")
+		validate = fs.Bool("stats", false, "print topology statistics to stderr")
+	)
+	if code, done := parse(fs, args); done {
+		return code
+	}
+
+	p := topology.DefaultGenParams(*n, *seed)
+	if *tier1 > 0 {
+		p.Tier1 = *tier1
+	}
+	if *multi > 0 {
+		p.MultihomeProb = *multi
+	}
+	g, err := topology.Generate(p)
+	if err != nil {
+		return e.fail(err)
+	}
+
+	w := e.stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return e.fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := topology.WriteASRel(w, g); err != nil {
+		return e.fail(err)
+	}
+
+	if *validate {
+		tiers := g.Tiers()
+		maxTier := 0
+		multihomed := 0
+		for a := 0; a < g.Len(); a++ {
+			if tiers[a] > maxTier {
+				maxTier = tiers[a]
+			}
+			if g.IsMultihomed(topology.ASN(a)) {
+				multihomed++
+			}
+		}
+		fmt.Fprintf(e.stderr, "ASes: %d, links: %d, tier-1s: %d, max tier: %d, multihomed: %.1f%%\n",
+			g.Len(), g.EdgeCount(), len(g.Tier1s()), maxTier,
+			100*float64(multihomed)/float64(g.Len()))
+	}
+	return ExitOK
+}

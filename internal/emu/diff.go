@@ -1,6 +1,7 @@
 package emu
 
 import (
+	"context"
 	"fmt"
 
 	"stamp/internal/bgp"
@@ -96,9 +97,13 @@ func ReferenceParams() sim.Params {
 // SimTables runs the discrete-event simulator over the same topology and
 // scenario script the live fleet executed — identical protocol logic,
 // identical deterministic lock choices — and returns its converged
-// routing tables. seed drives only message-delay ordering.
-func SimTables(g *topology.Graph, script scenario.Script, params sim.Params, seed int64) (*Tables, error) {
+// routing tables. seed drives only message-delay ordering; ctx, when
+// non-nil, interrupts the reference run mid-flight.
+func SimTables(ctx context.Context, g *topology.Graph, script scenario.Script, params sim.Params, seed int64) (*Tables, error) {
 	e := sim.NewEngine(params, seed)
+	if ctx != nil {
+		e.SetCancel(ctx)
+	}
 	net := sim.NewNetwork(e, g)
 	nodes := make([]*core.Node, g.Len())
 	for a := 0; a < g.Len(); a++ {

@@ -54,7 +54,7 @@ func runAndDiff(t *testing.T, g *topology.Graph, script scenario.Script, transpo
 	if err != nil {
 		t.Fatal(err)
 	}
-	simT, err := SimTables(g, script, ReferenceParams(), 1)
+	simT, err := SimTables(nil, g, script, ReferenceParams(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,7 +39,7 @@ func TestSimLiveParityFixtures(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			simT, err := SimTables(g, script, ReferenceParams(), 1)
+			simT, err := SimTables(nil, g, script, ReferenceParams(), 1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -67,12 +67,12 @@ func TestSimReferenceOrderRobust(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			base, err := SimTables(g, script, ReferenceParams(), 1)
+			base, err := SimTables(nil, g, script, ReferenceParams(), 1)
 			if err != nil {
 				t.Fatal(err)
 			}
 			for seed := int64(2); seed <= 6; seed++ {
-				other, err := SimTables(g, script, ReferenceParams(), seed)
+				other, err := SimTables(nil, g, script, ReferenceParams(), seed)
 				if err != nil {
 					t.Fatal(err)
 				}

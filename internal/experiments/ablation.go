@@ -32,11 +32,11 @@ type lockArm struct {
 // RunLockAblation converges STAMP twice on the same topology and
 // destination — once normally, once with the Lock mechanism disabled —
 // and reports blue-route coverage. The two arms are independent runner
-// trials sharded across workers (<= 0: one per CPU; 1 serializes the two
-// whole-topology instances, halving peak memory); both use the same
-// engine seed by construction (the ablation isolates the Lock rule, not
-// the timing).
-func RunLockAblation(g *topology.Graph, dest topology.ASN, seed int64, workers int) (*LockAblationResult, error) {
+// trials sharded across ropts.Workers (<= 0: one per CPU; 1 serializes
+// the two whole-topology instances, halving peak memory); both use the
+// same engine seed by construction (the ablation isolates the Lock
+// rule, not the timing).
+func RunLockAblation(g *topology.Graph, dest topology.ASN, seed int64, ropts runner.Options) (*LockAblationResult, error) {
 	spec := runner.Spec[lockArm]{
 		Name:   "ablation-lock",
 		Trials: 2,
@@ -44,6 +44,7 @@ func RunLockAblation(g *topology.Graph, dest topology.ASN, seed int64, workers i
 		Run: func(t runner.Trial) (lockArm, error) {
 			disable := t.Index == 1
 			in := buildInstance(ProtoSTAMP, g, sim.DefaultParams(), seed, dest, nil)
+			in.e.SetCancel(t.Ctx)
 			if disable {
 				for _, nd := range in.stampNodes {
 					nd.DisableLock = true
@@ -70,7 +71,7 @@ func RunLockAblation(g *topology.Graph, dest topology.ASN, seed int64, workers i
 			}, nil
 		},
 	}
-	arms, err := runner.Run(spec, runner.Options{Workers: workers})
+	arms, err := runner.Run(spec, ropts)
 	if err != nil {
 		return nil, err
 	}
@@ -98,15 +99,17 @@ type MRAIAblationResult struct {
 
 // RunMRAIAblation runs the single-link-failure workload for plain BGP
 // with the MRAI timer on and off, sharding each arm's trials across
-// workers (<= 0: one per CPU).
-func RunMRAIAblation(g *topology.Graph, trials int, seed int64, workers int) (*MRAIAblationResult, error) {
+// ropts.Workers (<= 0: one per CPU) with ropts.Progress reporting per
+// arm and ropts.Context cancellation.
+func RunMRAIAblation(g *topology.Graph, trials int, seed int64, ropts runner.Options) (*MRAIAblationResult, error) {
 	out := &MRAIAblationResult{}
 	for _, enabled := range []bool{true, false} {
 		p := sim.DefaultParams()
 		p.MRAIEnabled = enabled
 		res, err := RunTransient(TransientOpts{
 			G: g, Trials: trials, Seed: seed, Scenario: ScenarioSingleLink,
-			Params: p, Protocols: []Protocol{ProtoBGP}, Workers: workers,
+			Params: p, Protocols: []Protocol{ProtoBGP},
+			Workers: ropts.Workers, Progress: ropts.Progress, Context: ropts.Context,
 		})
 		if err != nil {
 			return nil, err

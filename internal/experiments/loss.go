@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -46,6 +47,12 @@ type LossOpts struct {
 	Workers int
 	// Progress, when non-nil, receives (done, total) shard counts.
 	Progress func(done, total int)
+	// Context cancels the run (nil = background).
+	Context context.Context
+	// Curve produces one shard's curve; traffic.RunSim when nil. The lab
+	// layer injects its Backend here so every sharded loss trial executes
+	// through the same backend interface as the live path.
+	Curve func(traffic.SimOpts) (*traffic.Curve, error)
 }
 
 func (o LossOpts) normalized() LossOpts {
@@ -69,6 +76,9 @@ func (o LossOpts) normalized() LossOpts {
 	}
 	if o.Ticks <= 0 {
 		o.Ticks = traffic.DefaultTicks
+	}
+	if o.Curve == nil {
+		o.Curve = traffic.RunSim
 	}
 	return o
 }
@@ -127,15 +137,16 @@ func LossSpec(opts LossOpts) (runner.Spec[LossOutcome], error) {
 			if err != nil {
 				return LossOutcome{}, err
 			}
-			cur, err := traffic.RunSim(traffic.SimOpts{
-				G:      opts.G,
-				Proto:  tprotos[pi],
-				Params: opts.Params,
-				Script: script,
-				Flows:  opts.Flows,
-				Tick:   opts.Tick,
-				Ticks:  opts.Ticks,
-				Seed:   runner.DeriveSeed(opts.Seed, streamEngine, int64(trial), int64(protos[pi])),
+			cur, err := opts.Curve(traffic.SimOpts{
+				G:       opts.G,
+				Proto:   tprotos[pi],
+				Params:  opts.Params,
+				Script:  script,
+				Flows:   opts.Flows,
+				Tick:    opts.Tick,
+				Ticks:   opts.Ticks,
+				Seed:    runner.DeriveSeed(opts.Seed, streamEngine, int64(trial), int64(protos[pi])),
+				Context: t.Ctx,
 			})
 			if err != nil {
 				return LossOutcome{}, fmt.Errorf("%v trial %d: %w", protos[pi], trial, err)
@@ -233,7 +244,7 @@ func RunLossCurves(opts LossOpts) (*LossResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	acc, err := runner.Fold(spec, runner.Options{Workers: opts.Workers, Progress: opts.Progress},
+	acc, err := runner.Fold(spec, runner.Options{Workers: opts.Workers, Progress: opts.Progress, Context: opts.Context},
 		newLossAccum(opts),
 		func(a *lossAccum, _ runner.Trial, out LossOutcome) *lossAccum { return a.merge(out) })
 	if err != nil {

@@ -35,19 +35,40 @@ func TestLossCurvesDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
-// TestTransientRejectsLinkFlap: the Set-consuming harnesses must refuse
-// the flap kind rather than silently run it as a mislabeled permanent
-// single-link failure (flap scripts only exist via scenario.Named).
-func TestTransientRejectsLinkFlap(t *testing.T) {
-	g := smokeGraph(t, 120, 7)
-	if _, err := RunTransient(TransientOpts{G: g, Trials: 1, Seed: 1, Scenario: ScenarioLinkFlap}); err == nil {
-		t.Error("RunTransient accepted the link-flap kind")
+// TestTransientRunsLinkFlap: the transient and sweep harnesses execute
+// canonical Scripts, so the flap kind — restores included — runs end to
+// end everywhere. A link that fails and comes back must leave at most
+// the scripted-failure transient footprint of a permanent failure, with
+// every AS delivered at the fixpoint (the link is up again), and the
+// sweep grid must accept the kind as a cell.
+func TestTransientRunsLinkFlap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-round flap simulation")
 	}
-	if _, err := RunSweep(SweepOpts{
+	g := smokeGraph(t, 120, 7)
+	res, err := RunTransient(TransientOpts{G: g, Trials: 2, Seed: 1, Scenario: ScenarioLinkFlap,
+		Protocols: []Protocol{ProtoBGP, ProtoSTAMP}})
+	if err != nil {
+		t.Fatalf("RunTransient(link-flap): %v", err)
+	}
+	if res.Scenario != ScenarioLinkFlap || len(res.Stats) != 2 {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+	for p, st := range res.Stats {
+		if len(st.Affected) != res.Trials {
+			t.Errorf("%v: %d per-trial counts, want %d", p, len(st.Affected), res.Trials)
+		}
+	}
+	sw, err := RunSweep(SweepOpts{
 		TopoSeeds: []int64{7}, N: 120, Trials: 1, Seed: 1,
 		Scenarios: []Scenario{ScenarioLinkFlap},
-	}); err == nil {
-		t.Error("RunSweep accepted the link-flap kind")
+		Protocols: []Protocol{ProtoBGP},
+	})
+	if err != nil {
+		t.Fatalf("RunSweep(link-flap): %v", err)
+	}
+	if len(sw.Cells) != 1 || sw.Cells[0].Scenario != ScenarioLinkFlap {
+		t.Fatalf("unexpected sweep shape: %+v", sw)
 	}
 }
 

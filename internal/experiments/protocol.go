@@ -108,6 +108,28 @@ func buildInstance(proto Protocol, g *topology.Graph, params sim.Params, seed in
 	return in
 }
 
+// FailLink implements scenario.Executor.
+func (in *instance) FailLink(a, b topology.ASN) error { return in.net.FailLink(a, b) }
+
+// RestoreLink implements scenario.Executor.
+func (in *instance) RestoreLink(a, b topology.ASN) error { return in.net.RestoreLink(a, b) }
+
+// FailNode implements scenario.Executor.
+func (in *instance) FailNode(a topology.ASN) error { in.net.FailNode(a); return nil }
+
+// Withdraw implements scenario.Executor.
+func (in *instance) Withdraw(d topology.ASN) error {
+	switch in.proto {
+	case ProtoBGP:
+		in.bgpNodes[d].WithdrawOrigin()
+	case ProtoRBGPNoRCI, ProtoRBGP:
+		in.rbgpNodes[d].WithdrawOrigin()
+	case ProtoSTAMP:
+		in.stampNodes[d].WithdrawOrigin()
+	}
+	return nil
+}
+
 // setRouteEventHook installs fn as every node's OnRouteEvent callback.
 func (in *instance) setRouteEventHook(fn func()) {
 	for _, n := range in.bgpNodes {

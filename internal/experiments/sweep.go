@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -43,6 +44,8 @@ type SweepOpts struct {
 	Workers int
 	// Progress receives (done, total) shard counts across the whole grid.
 	Progress func(done, total int)
+	// Context cancels the run (nil = background).
+	Context context.Context
 }
 
 func (o SweepOpts) normalized() SweepOpts {
@@ -120,7 +123,7 @@ func RunSweep(opts SweepOpts) (*SweepResult, error) {
 			ti := cell / len(opts.Scenarios)
 			sc := opts.Scenarios[cell%len(opts.Scenarios)]
 			topoSeed := opts.TopoSeeds[ti]
-			out, err := runTransientShard(graphs[ti], opts.Params, sc, multihomed[ti],
+			out, err := runTransientShard(t.Ctx, graphs[ti], opts.Params, sc, multihomed[ti],
 				trial, proto,
 				runner.DeriveSeed(opts.Seed, topoSeed, int64(sc), streamWorkload, int64(trial)),
 				runner.DeriveSeed(opts.Seed, topoSeed, int64(sc), streamEngine, int64(trial), int64(proto)))
@@ -135,7 +138,7 @@ func RunSweep(opts SweepOpts) (*SweepResult, error) {
 	for i := range accs {
 		accs[i] = newTransientAccum(TransientOpts{G: graphs[i/len(opts.Scenarios)], Protocols: opts.Protocols})
 	}
-	_, err := runner.Fold(spec, runner.Options{Workers: opts.Workers, Progress: opts.Progress},
+	_, err := runner.Fold(spec, runner.Options{Workers: opts.Workers, Progress: opts.Progress, Context: opts.Context},
 		accs, func(a []*transientAccum, _ runner.Trial, s sweepShard) []*transientAccum {
 			a[s.cell].merge(s.out)
 			return a

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -34,9 +35,10 @@ const (
 	// (the paper's single-node-failure variant).
 	ScenarioNodeFailure = scenario.NodeFailure
 	// ScenarioLinkFlap repeatedly fails and restores one destination
-	// provider link. Only the script-driven harnesses (loss curves, live
-	// emulation) support it; the Set-consuming transient/sweep harnesses
-	// reject it.
+	// provider link. Like every other kind it runs everywhere: the
+	// transient and sweep harnesses execute the same canonical Script
+	// form (scenario.ScriptFor) the loss curves and live emulation use,
+	// restores included.
 	ScenarioLinkFlap = scenario.LinkFlap
 )
 
@@ -70,6 +72,9 @@ type TransientOpts struct {
 	// Progress, when non-nil, receives (done, total) shard counts as the
 	// sweep advances.
 	Progress func(done, total int)
+	// Context cancels the run: dispatch stops and in-flight trials are
+	// interrupted at their engines (nil = background).
+	Context context.Context
 }
 
 // normalized fills defaults, leaving opts itself untouched.
@@ -159,9 +164,6 @@ func TransientSpec(opts TransientOpts) (runner.Spec[TrialOutcome], error) {
 	if opts.G == nil {
 		return runner.Spec[TrialOutcome]{}, fmt.Errorf("experiments: nil topology")
 	}
-	if opts.Scenario == scenario.LinkFlap {
-		return runner.Spec[TrialOutcome]{}, errLinkFlapUnsupported
-	}
 	opts = opts.normalized()
 	multihomed := scenario.Multihomed(opts.G)
 	protos := opts.Protocols
@@ -172,7 +174,7 @@ func TransientSpec(opts TransientOpts) (runner.Spec[TrialOutcome], error) {
 		Run: func(t runner.Trial) (TrialOutcome, error) {
 			trial := t.Index / len(protos)
 			proto := protos[t.Index%len(protos)]
-			return runTransientShard(opts.G, opts.Params, opts.Scenario, multihomed,
+			return runTransientShard(t.Ctx, opts.G, opts.Params, opts.Scenario, multihomed,
 				trial, proto,
 				runner.DeriveSeed(opts.Seed, streamWorkload, int64(trial)),
 				runner.DeriveSeed(opts.Seed, streamEngine, int64(trial), int64(proto)))
@@ -180,24 +182,17 @@ func TransientSpec(opts TransientOpts) (runner.Spec[TrialOutcome], error) {
 	}, nil
 }
 
-// errLinkFlapUnsupported: the transient/sweep harnesses consume bare
-// failure Sets (all events at t=0, no restores), so a flap would
-// silently degrade to a mislabeled permanent single-link failure.
-var errLinkFlapUnsupported = fmt.Errorf(
-	"experiments: link-flap needs scripted restores; use the loss-curve harness (stampflood) or the live emulation")
-
-// runTransientShard regenerates trial's workload from wlSeed and runs one
-// protocol through it with engSeed driving the engine.
-func runTransientShard(g *topology.Graph, params sim.Params, sc Scenario, multihomed []topology.ASN,
+// runTransientShard regenerates trial's workload from wlSeed — in
+// canonical Script form, so restores (link flaps) work exactly like
+// plain failures — and runs one protocol through it with engSeed driving
+// the engine.
+func runTransientShard(ctx context.Context, g *topology.Graph, params sim.Params, sc Scenario, multihomed []topology.ASN,
 	trial int, proto Protocol, wlSeed, engSeed int64) (TrialOutcome, error) {
-	if sc == scenario.LinkFlap {
-		return TrialOutcome{}, errLinkFlapUnsupported
-	}
-	fs, err := scenario.Pick(g, multihomed, sc, rand.New(rand.NewSource(wlSeed)))
+	script, err := scenario.PickScript(g, multihomed, sc, rand.New(rand.NewSource(wlSeed)))
 	if err != nil {
 		return TrialOutcome{}, err
 	}
-	out, err := runOneTrial(g, params, proto, fs, engSeed)
+	out, err := runScriptTrial(ctx, g, params, proto, script, engSeed)
 	if err != nil {
 		return TrialOutcome{}, fmt.Errorf("%v trial %d: %w", proto, trial, err)
 	}
@@ -299,7 +294,7 @@ func RunTransient(opts TransientOpts) (*TransientResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	acc, err := runner.Fold(spec, runner.Options{Workers: opts.Workers, Progress: opts.Progress},
+	acc, err := runner.Fold(spec, runner.Options{Workers: opts.Workers, Progress: opts.Progress, Context: opts.Context},
 		newTransientAccum(opts),
 		func(a *transientAccum, _ runner.Trial, out TrialOutcome) *transientAccum { return a.merge(out) })
 	if err != nil {
@@ -308,12 +303,14 @@ func RunTransient(opts TransientOpts) (*TransientResult, error) {
 	return acc.result(opts.Scenario, opts.Trials), nil
 }
 
-// runOneTrial converges the protocol, injects the failure, sweeps the
+// runScriptTrial converges the protocol, executes the workload script —
+// every event at its virtual-time offset, restores included — sweeps the
 // data plane throughout re-convergence, and counts ASes that both
 // experienced a transient problem and are fine once converged (problems
 // of permanently disconnected ASes are not transient).
-func runOneTrial(g *topology.Graph, params sim.Params, proto Protocol, fs scenario.Set, seed int64) (TrialOutcome, error) {
-	in := buildInstance(proto, g, params, seed, fs.Dest, nil)
+func runScriptTrial(ctx context.Context, g *topology.Graph, params sim.Params, proto Protocol, script scenario.Script, seed int64) (TrialOutcome, error) {
+	in := buildInstance(proto, g, params, seed, script.Dest, nil)
+	in.e.SetCancel(ctx)
 	if _, err := in.e.Run(); err != nil {
 		return TrialOutcome{}, fmt.Errorf("initial convergence: %w", err)
 	}
@@ -331,10 +328,14 @@ func runOneTrial(g *topology.Graph, params sim.Params, proto Protocol, fs scenar
 	const sweepLag = time.Millisecond
 	sweepScheduled := false
 	t0 := in.e.Now()
-	// Problems are only counted once the ASes adjacent to the failures
-	// have had time to detect them (Theorem 5.1's accounting): detection
-	// notifications arrive within MaxDelay of the event.
+	events := script.Sorted()
+	// Problems are only counted once the ASes adjacent to the first
+	// event have had time to detect it (Theorem 5.1's accounting):
+	// detection notifications arrive within MaxDelay of the event.
 	countFrom := t0 + params.MaxDelay + sweepLag
+	if len(events) > 0 {
+		countFrom += events[0].At
+	}
 	in.setTableChangeHook(func() { lastChange = in.e.Now() })
 	in.setRouteEventHook(func() {
 		if sweepScheduled {
@@ -350,16 +351,30 @@ func runOneTrial(g *topology.Graph, params sim.Params, proto Protocol, fs scenar
 		})
 	})
 	lastChange = t0
-	if fs.Node >= 0 {
-		in.net.FailNode(fs.Node)
-	}
-	for _, l := range fs.Links {
-		if err := in.net.FailLink(l[0], l[1]); err != nil {
-			return TrialOutcome{}, err
+	// Offset-zero events apply synchronously — the exact injection path
+	// the Set-consuming harness used, preserving its event and RNG
+	// ordering — and later ones (restores, subsequent flap rounds) are
+	// scheduled on the engine.
+	var evErr error
+	for _, ev := range events {
+		if ev.At <= 0 {
+			if err := scenario.Apply(in, ev); err != nil {
+				return TrialOutcome{}, err
+			}
+			continue
 		}
+		ev := ev
+		in.e.After(ev.At, func() {
+			if err := scenario.Apply(in, ev); err != nil && evErr == nil {
+				evErr = fmt.Errorf("applying %v: %w", ev, err)
+			}
+		})
 	}
 	if _, err := in.e.Run(); err != nil {
 		return TrialOutcome{}, fmt.Errorf("failure convergence: %w", err)
+	}
+	if evErr != nil {
+		return TrialOutcome{}, evErr
 	}
 	in.setRouteEventHook(nil)
 	in.setTableChangeHook(nil)

@@ -1,0 +1,207 @@
+package lab
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"stamp/internal/core"
+	"stamp/internal/emu"
+	"stamp/internal/scenario"
+	"stamp/internal/sim"
+	"stamp/internal/topology"
+	"stamp/internal/traffic"
+)
+
+// Backend is one execution engine for scripted workloads: the
+// discrete-event simulator replaying scripts in virtual time, or the
+// live emulation booting real STAMP speakers and injecting the same
+// script in wall-clock time. Both expose the same two observations — a
+// converged routing-table snapshot and a time-resolved traffic curve —
+// so any harness written against this interface runs on either world,
+// and the emu flavor can always be differentially validated against the
+// sim flavor on identical workloads.
+type Backend interface {
+	// Name is the CLI spelling: "sim" or "emu".
+	Name() string
+	// Converge runs the script to convergence and snapshots the fleet's
+	// routing tables.
+	Converge(ctx context.Context, s ConvergeSpec) (*Converged, error)
+	// Curve injects per-source flows while the script executes and
+	// returns the time-resolved deliverability curve.
+	Curve(ctx context.Context, s CurveSpec) (*traffic.Curve, error)
+}
+
+// ConvergeSpec is one scripted convergence run.
+type ConvergeSpec struct {
+	// G is the AS topology.
+	G *topology.Graph
+	// Script is the failure workload.
+	Script scenario.Script
+	// Seed drives sim message-delay ordering (ignored by emu, whose
+	// ordering is the operating system's).
+	Seed int64
+	// Transport and Workers configure the emu fabric (ignored by sim).
+	Transport string
+	Workers   int
+	// QuietWindow and ConvergeTimeout override the emu quiescence
+	// detector (0: emu defaults; ignored by sim).
+	QuietWindow     time.Duration
+	ConvergeTimeout time.Duration
+}
+
+// Converged is a backend's converged routing state.
+type Converged struct {
+	// Tables is the per-AS red/blue routing snapshot, diffable across
+	// backends.
+	Tables *emu.Tables
+	// Live carries the emu backend's wall-clock measurements (boot,
+	// convergence, per-AS CDF); nil on the sim backend.
+	Live *emu.Result
+}
+
+// CurveSpec is one scripted traffic-injection run.
+type CurveSpec struct {
+	// G is the AS topology.
+	G *topology.Graph
+	// Script is the failure workload.
+	Script scenario.Script
+	// Proto is the protocol under test (the emu backend is a STAMP
+	// fleet and rejects anything else).
+	Proto traffic.Protocol
+	// Params is the sim timing model (zero = paper defaults; ignored by
+	// emu).
+	Params sim.Params
+	// Reference switches the sim backend into the deterministic
+	// differential-validation configuration: emu.ReferenceParams timing
+	// and first-candidate lock picks, matching the live fleet.
+	Reference bool
+	// BluePick overrides STAMP's locked blue provider choice on the sim
+	// backend (nil = random; Reference wins when set).
+	BluePick core.BluePicker
+	// Flows, Tick, Ticks control injection and sampling (zero: backend
+	// defaults).
+	Flows int
+	Tick  time.Duration
+	Ticks int
+	// Seed drives sim engine randomness.
+	Seed int64
+	// Transport and Workers configure the emu fabric (ignored by sim).
+	Transport string
+	Workers   int
+}
+
+// SimBackend executes scripts on the discrete-event simulator in
+// virtual time. It is stateless; the zero value is ready to use.
+type SimBackend struct{}
+
+// Name implements Backend.
+func (SimBackend) Name() string { return "sim" }
+
+// Converge implements Backend via the simulator reference run — the
+// same deterministic configuration the differential validator uses, so
+// a sim Converged is directly diffable against an emu one.
+func (SimBackend) Converge(ctx context.Context, s ConvergeSpec) (*Converged, error) {
+	t, err := emu.SimTables(ctx, s.G, s.Script, emu.ReferenceParams(), s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Converged{Tables: t}, nil
+}
+
+// Curve implements Backend via the batched virtual-time walker.
+func (b SimBackend) Curve(ctx context.Context, s CurveSpec) (*traffic.Curve, error) {
+	o := traffic.SimOpts{
+		G:        s.G,
+		Proto:    s.Proto,
+		Params:   s.Params,
+		Script:   s.Script,
+		Flows:    s.Flows,
+		Tick:     s.Tick,
+		Ticks:    s.Ticks,
+		Seed:     s.Seed,
+		BluePick: s.BluePick,
+		Context:  ctx,
+	}
+	if s.Reference {
+		o.Params = emu.ReferenceParams()
+		o.BluePick = core.FirstBluePicker()
+	}
+	return traffic.RunSim(o)
+}
+
+// EmuBackend executes scripts on a live fleet of real STAMP speakers in
+// wall-clock time. It is stateless; the zero value is ready to use.
+type EmuBackend struct{}
+
+// Name implements Backend.
+func (EmuBackend) Name() string { return "emu" }
+
+// Converge implements Backend by booting the fabric, originating at the
+// script's destination, executing the script live, and snapshotting the
+// quiesced tables.
+func (EmuBackend) Converge(ctx context.Context, s ConvergeSpec) (*Converged, error) {
+	res, err := emuAwait(ctx, func() (*emu.Result, error) {
+		return emu.Run(emu.Options{
+			Graph: s.G, Transport: s.Transport, Workers: s.Workers,
+			QuietWindow: s.QuietWindow, ConvergeTimeout: s.ConvergeTimeout,
+		}, s.Script)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Converged{Tables: res.Tables, Live: res}, nil
+}
+
+// Curve implements Backend by sampling the live fabric's forwarding
+// snapshots at wall-clock ticks while the script executes.
+func (EmuBackend) Curve(ctx context.Context, s CurveSpec) (*traffic.Curve, error) {
+	if s.Proto != traffic.STAMP {
+		return nil, fmt.Errorf("the emu backend is a STAMP fleet; protocol %v needs -backend sim", s.Proto)
+	}
+	return emuAwait(ctx, func() (*traffic.Curve, error) {
+		return traffic.RunEmu(traffic.EmuOpts{
+			Fabric: emu.Options{Graph: s.G, Transport: s.Transport, Workers: s.Workers},
+			Script: s.Script,
+			Flows:  s.Flows,
+			Tick:   s.Tick,
+			Ticks:  s.Ticks,
+		})
+	})
+}
+
+// emuAwait runs a blocking emu operation on its own goroutine and
+// returns early on cancellation, so Ctrl-C is honored even though the
+// fleet itself has no cancellation hooks. An abandoned run keeps its
+// goroutine until the fleet converges or times out, then tears the
+// fabric down itself — acceptable for the CLI (the process exits) and
+// bounded by the fleet's ConvergeTimeout everywhere else.
+func emuAwait[T any](ctx context.Context, run func() (T, error)) (T, error) {
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, err := run()
+		ch <- outcome{v, err}
+	}()
+	select {
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	case o := <-ch:
+		return o.v, o.err
+	}
+}
+
+// BackendByName maps the CLI spelling to a backend.
+func BackendByName(name string) (Backend, error) {
+	switch name {
+	case "sim":
+		return SimBackend{}, nil
+	case "emu":
+		return EmuBackend{}, nil
+	}
+	return nil, fmt.Errorf("unknown backend %q (want sim or emu)", name)
+}

@@ -1,0 +1,258 @@
+// Package lab is the single experiment surface of the repository: one
+// uniform Request (topology spec, scenario script, protocol set, trials,
+// seed, workers, backend), one versioned Result envelope (named,
+// mergeable metrics under a schema_version), a registry of named
+// experiments so harnesses are data rather than bespoke APIs, and a
+// first-class Backend interface — the simulator in virtual time and the
+// live emulation in wall-clock time — so every harness that can run live
+// does so through one switch instead of per-package forks.
+//
+// The paper's evaluation is one grid — {BGP, R-BGP±RCI, STAMP} ×
+// {failure scenarios} × {topologies} × {metrics} — and this package
+// exposes it as one: `Run(Request{Experiment: "transient", ...})` is the
+// only entry point cmd/stamp (and anything else) needs. Adding a
+// workload is one registry entry, not a new Opts struct, CLI fork, and
+// runner-plumbing copy.
+package lab
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"stamp/internal/experiments"
+	"stamp/internal/topology"
+	"stamp/internal/traffic"
+)
+
+// SchemaVersion is the version stamped into every Result envelope. Bump
+// it whenever the JSON shape of the envelope or any registered
+// experiment's Data payload changes incompatibly; the golden-file tests
+// under testdata/schema pin the current shape.
+const SchemaVersion = 1
+
+// TopoSpec selects the experiment's topology: a CAIDA AS-relationship
+// file when Path is set, a generated Internet-like graph otherwise.
+type TopoSpec struct {
+	// N is the generated topology size (<= 0: the experiment's default).
+	N int `json:"n,omitempty"`
+	// Seed is the generator seed (0: the request's master Seed).
+	Seed int64 `json:"seed,omitempty"`
+	// Path is a CAIDA AS-rel file to load instead of generating.
+	Path string `json:"path,omitempty"`
+}
+
+// Request is the uniform experiment request every registered experiment
+// consumes. Zero values mean "the experiment's default"; normalization
+// happens inside Run, so a literal Request with only Experiment set is
+// valid.
+type Request struct {
+	// Experiment is the registry name (see Names).
+	Experiment string
+	// Topo selects the topology.
+	Topo TopoSpec
+	// Scenario is the failure-script name (scenario.Names); "" picks the
+	// experiment's default. Preset experiments (figure2, …) ignore it.
+	Scenario string
+	// Trials is the number of random workload instances (<= 0: 10).
+	Trials int
+	// Seed is the master seed; every trial derives its own workload and
+	// engine seeds from it, so results never depend on Workers.
+	Seed int64
+	// Protocols under test by CLI name (bgp, rbgp-norci, rbgp, stamp);
+	// nil means all four.
+	Protocols []string
+	// Backend selects the execution engine: "sim" (virtual time) or
+	// "emu" (wall-clock live fleet); "" picks the experiment's default.
+	Backend string
+	// Transport is the emu session carrier: "pipe" (default) or "tcp".
+	Transport string
+	// Flows is the number of flows per source AS for traffic-injecting
+	// experiments (<= 0: 1).
+	Flows int
+	// Tick and Ticks control traffic sampling (0: backend defaults).
+	Tick  time.Duration
+	Ticks int
+	// Workers sizes the trial worker pool, and the emu boot pool
+	// (<= 0: one per CPU / backend default).
+	Workers int
+	// TopoSeeds are the sweep experiment's topology generator seeds
+	// (nil: {1, 2, 3}).
+	TopoSeeds []int64
+	// QuietWindow and ConvergeTimeout override the emu fleet's
+	// quiescence window and convergence timeout (0: emu defaults).
+	QuietWindow     time.Duration
+	ConvergeTimeout time.Duration
+	// NoDiff skips the sim-reference differential validation on emu
+	// runs (the live measurement still happens).
+	NoDiff bool
+	// Progress, when non-nil, receives (done, total) shard counts.
+	Progress func(done, total int)
+	// Context cancels the run: dispatch stops and in-flight trials are
+	// interrupted at their engines (nil = background).
+	Context context.Context
+}
+
+// normalized fills request-level defaults (experiment-level ones — N,
+// scenario, backend — are filled by Run from the registry entry). Seed
+// is used as given: 0 is a valid master seed (the CLI's own default is
+// 1), so coercing it would silently mislabel an explicit -seed 0 run.
+func (r Request) normalized() Request {
+	if r.Trials <= 0 {
+		r.Trials = 10
+	}
+	if r.Topo.Seed == 0 {
+		r.Topo.Seed = r.Seed
+	}
+	if r.Transport == "" {
+		r.Transport = "pipe"
+	}
+	if r.Flows <= 0 {
+		r.Flows = 1
+	}
+	return r
+}
+
+// ctx returns the request context, never nil.
+func (r Request) ctx() context.Context {
+	if r.Context == nil {
+		return context.Background()
+	}
+	return r.Context
+}
+
+// graphCache memoizes loaded/generated topologies per process. Graphs
+// are read-only once built (the runner relies on that already), so
+// sharing one instance across experiments is safe; it saves the legacy
+// `stampsim -exp all` path from regenerating the identical topology
+// once per experiment. Keyed by the full TopoSpec — a reloaded file
+// path is assumed stable for the process lifetime (true for a CLI run).
+var graphCache sync.Map // TopoSpec -> *topology.Graph
+
+// graph loads or generates the request's topology, memoized per
+// TopoSpec.
+func (r Request) graph() (*topology.Graph, error) {
+	if g, ok := graphCache.Load(r.Topo); ok {
+		return g.(*topology.Graph), nil
+	}
+	g, err := r.buildGraph()
+	if err != nil {
+		return nil, err
+	}
+	graphCache.Store(r.Topo, g)
+	return g, nil
+}
+
+func (r Request) buildGraph() (*topology.Graph, error) {
+	if r.Topo.Path != "" {
+		f, err := os.Open(r.Topo.Path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, _, err := topology.ReadASRel(f)
+		return g, err
+	}
+	return topology.GenerateDefault(r.Topo.N, r.Topo.Seed)
+}
+
+// protocols parses the request's protocol names (nil = all four).
+func (r Request) protocols() ([]experiments.Protocol, error) {
+	if len(r.Protocols) == 0 {
+		return experiments.AllProtocols(), nil
+	}
+	out := make([]experiments.Protocol, len(r.Protocols))
+	for i, name := range r.Protocols {
+		p, err := ParseProtocol(name)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// ParseProtocol maps the CLI spelling of a protocol to the experiment
+// enum. The spelling table lives in traffic.ParseProtocol — one source
+// of truth for both backends — and only the enum is bridged here.
+func ParseProtocol(s string) (experiments.Protocol, error) {
+	tp, err := traffic.ParseProtocol(s)
+	if err != nil {
+		return 0, err
+	}
+	switch tp {
+	case traffic.BGP:
+		return experiments.ProtoBGP, nil
+	case traffic.RBGPNoRCI:
+		return experiments.ProtoRBGPNoRCI, nil
+	case traffic.RBGP:
+		return experiments.ProtoRBGP, nil
+	default:
+		return experiments.ProtoSTAMP, nil
+	}
+}
+
+// TopoInfo describes the topology a result was measured on.
+type TopoInfo struct {
+	ASes   int  `json:"ases"`
+	Links  int  `json:"links"`
+	Tier1s int  `json:"tier1s"`
+	Loaded bool `json:"loaded,omitempty"`
+}
+
+// Result is the uniform envelope every experiment returns: run identity
+// (experiment, backend, scenario, seed, topology), the divergence count
+// gating the CLI exit code, and the experiment's own Data payload, all
+// under one schema_version. Marshaling a Result is the lab's JSON
+// contract; the golden-file tests pin its shape per experiment.
+type Result struct {
+	SchemaVersion int      `json:"schema_version"`
+	Experiment    string   `json:"experiment"`
+	Backend       string   `json:"backend"`
+	Scenario      string   `json:"scenario,omitempty"`
+	Trials        int      `json:"trials,omitempty"`
+	Seed          int64    `json:"seed"`
+	Topology      TopoInfo `json:"topology"`
+	// Divergences counts differential-validation mismatches (sim vs
+	// live); nonzero fails the run (exit code 1 in cmd/stamp).
+	Divergences int `json:"divergences"`
+	// Data is the experiment-specific payload.
+	Data any `json:"data"`
+}
+
+// printer is what experiment payloads implement for text rendering.
+type printer interface{ Print(w io.Writer) }
+
+// Print renders the envelope header and delegates to the payload's own
+// text form.
+func (r *Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s — backend %s, %d ASes, %d links, %d tier-1s, seed %d\n",
+		r.Experiment, r.Backend, r.Topology.ASes, r.Topology.Links, r.Topology.Tier1s, r.Seed)
+	if p, ok := r.Data.(printer); ok {
+		p.Print(w)
+	} else {
+		fmt.Fprintf(w, "%+v\n", r.Data)
+	}
+}
+
+// envelope builds the Result shell for a request on a topology.
+func (r Request) envelope(name, backend string, g *topology.Graph, data any) *Result {
+	return &Result{
+		SchemaVersion: SchemaVersion,
+		Experiment:    name,
+		Backend:       backend,
+		Scenario:      r.Scenario,
+		Trials:        r.Trials,
+		Seed:          r.Seed,
+		Topology: TopoInfo{
+			ASes:   g.Len(),
+			Links:  g.EdgeCount(),
+			Tier1s: len(g.Tier1s()),
+			Loaded: r.Topo.Path != "",
+		},
+		Data: data,
+	}
+}

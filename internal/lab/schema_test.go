@@ -1,0 +1,179 @@
+package lab
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden schema files instead of comparing.
+var update = flag.Bool("update", false, "rewrite testdata/schema golden files")
+
+// schemaRequests pins one small-but-real request per registered
+// experiment (and per backend where an experiment supports both). Every
+// entry runs end to end; its marshaled Result is reduced to a type
+// skeleton and compared against testdata/schema/<file>.golden.json —
+// the versioned JSON contract of the lab.
+func schemaRequests() map[string]Request {
+	reqs := map[string]Request{
+		"transient":           {Experiment: "transient", Topo: TopoSpec{N: 60}, Trials: 1, Protocols: []string{"bgp", "stamp"}},
+		"figure2":             {Experiment: "figure2", Topo: TopoSpec{N: 60}, Trials: 1, Protocols: []string{"bgp", "stamp"}},
+		"figure3a":            {Experiment: "figure3a", Topo: TopoSpec{N: 80}, Trials: 1, Protocols: []string{"bgp"}},
+		"figure3b":            {Experiment: "figure3b", Topo: TopoSpec{N: 80}, Trials: 1, Protocols: []string{"bgp"}},
+		"node-failure":        {Experiment: "node-failure", Topo: TopoSpec{N: 60}, Trials: 1, Protocols: []string{"bgp"}},
+		"sweep":               {Experiment: "sweep", Topo: TopoSpec{N: 60}, Trials: 1, TopoSeeds: []int64{1}, Scenario: "single-link", Protocols: []string{"bgp"}},
+		"figure1":             {Experiment: "figure1", Topo: TopoSpec{N: 80}},
+		"figure1-intelligent": {Experiment: "figure1-intelligent", Topo: TopoSpec{N: 80}},
+		"partial":             {Experiment: "partial", Topo: TopoSpec{N: 80}},
+		"overhead":            {Experiment: "overhead", Topo: TopoSpec{N: 60}, Trials: 1},
+		"convergence":         {Experiment: "convergence", Topo: TopoSpec{N: 60}, Trials: 1},
+		"ablation_lock":       {Experiment: "ablation/lock", Topo: TopoSpec{N: 80}},
+		"ablation_mrai":       {Experiment: "ablation/mrai", Topo: TopoSpec{N: 60}, Trials: 1},
+		"loss_sim":            {Experiment: "loss", Backend: "sim", Topo: TopoSpec{N: 60}, Trials: 1, Ticks: 100, Protocols: []string{"bgp", "stamp"}},
+		"loss_emu":            {Experiment: "loss", Backend: "emu", Topo: TopoSpec{N: 40}, Ticks: 30},
+		"emu-converge_emu":    {Experiment: "emu-converge", Backend: "emu", Topo: TopoSpec{N: 40}},
+		"emu-converge_sim":    {Experiment: "emu-converge", Backend: "sim", Topo: TopoSpec{N: 40}},
+	}
+	return reqs
+}
+
+// TestSchemaGoldenCoversRegistry: every registered experiment must have
+// at least one schema request, so adding an experiment without pinning
+// its JSON contract fails here.
+func TestSchemaGoldenCoversRegistry(t *testing.T) {
+	covered := map[string]bool{}
+	for _, req := range schemaRequests() {
+		covered[req.Experiment] = true
+	}
+	for _, name := range Names() {
+		if !covered[name] {
+			t.Errorf("experiment %q has no schema golden request", name)
+		}
+	}
+}
+
+// TestResultSchemaGolden runs every schema request and pins the shape
+// (keys and JSON types, not values) of its Result envelope against the
+// golden files. Regenerate with `go test ./internal/lab -run Schema
+// -update` and review the diff — a changed golden file means the JSON
+// contract changed and SchemaVersion likely needs a bump.
+func TestResultSchemaGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every registered experiment")
+	}
+	files := schemaRequests()
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, file := range names {
+		req := files[file]
+		t.Run(file, func(t *testing.T) {
+			res, err := Run(req)
+			if err != nil {
+				t.Fatalf("Run(%s): %v", req.Experiment, err)
+			}
+			if res.SchemaVersion != SchemaVersion {
+				t.Fatalf("schema_version = %d, want %d", res.SchemaVersion, SchemaVersion)
+			}
+			raw, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var doc any
+			if err := json.Unmarshal(raw, &doc); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			enc := json.NewEncoder(&buf)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(skeleton(doc)); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "schema", file+".golden.json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got := buf.Bytes(); !bytes.Equal(got, want) {
+				t.Errorf("schema drift for %s.\ngot:\n%s\nwant:\n%s\n(re-run with -update after bumping SchemaVersion if intended)",
+					file, got, want)
+			}
+		})
+	}
+}
+
+// skeleton reduces a decoded JSON document to its shape: objects keep
+// their keys, arrays collapse to their element shapes (deduplicated),
+// scalars become their JSON type name. Values never appear, so golden
+// files are stable across seeds and timing while still failing on any
+// added, removed, or retyped field.
+func skeleton(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, val := range x {
+			out[k] = skeleton(val)
+		}
+		return out
+	case []any:
+		if len(x) == 0 {
+			return []any{}
+		}
+		// Deduplicate element shapes so variable-length arrays stay
+		// stable; heterogeneous arrays (e.g. [value, count] pairs) keep
+		// each distinct shape once, in first-seen order.
+		var shapes []any
+		seen := map[string]bool{}
+		for _, el := range x {
+			s := skeleton(el)
+			key := fmt.Sprint(s)
+			if !seen[key] {
+				seen[key] = true
+				shapes = append(shapes, s)
+			}
+		}
+		return shapes
+	case string:
+		return "string"
+	case float64:
+		return "number"
+	case bool:
+		return "bool"
+	case nil:
+		return "null"
+	}
+	return fmt.Sprintf("%T", v)
+}
+
+// TestSkeleton pins the reducer itself.
+func TestSkeleton(t *testing.T) {
+	var doc any
+	if err := json.Unmarshal([]byte(`{"a": [1, 2.5], "b": {"c": "x", "d": null}, "e": [], "f": [1, "s"]}`), &doc); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := json.Marshal(skeleton(doc))
+	want := `{"a":["number"],"b":{"c":"string","d":"null"},"e":[],"f":["number","string"]}`
+	if string(got) != want {
+		t.Errorf("skeleton = %s, want %s", got, want)
+	}
+	if !strings.Contains(want, "null") {
+		t.Fatal("unreachable")
+	}
+}

@@ -16,6 +16,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -28,6 +29,11 @@ type Trial struct {
 	Index int
 	// Seed is DeriveSeed(spec.Seed, Index): the trial's private root seed.
 	Seed int64
+	// Ctx is the run's cancellation context (never nil). Long trials
+	// should observe it — e.g. by installing it on their sim engine — so
+	// Ctrl-C interrupts work in flight instead of merely stopping new
+	// dispatch.
+	Ctx context.Context
 }
 
 // Derive returns a sub-seed of the trial's seed for an independent random
@@ -58,6 +64,17 @@ type Options struct {
 	// Fold "done" counts trials merged (contiguous prefix), not merely
 	// finished.
 	Progress func(done, total int)
+	// Context cancels the run: no new trials are dispatched once it is
+	// done, every trial sees it as Trial.Ctx, and Run/Fold return its
+	// error. nil means context.Background().
+	Context context.Context
+}
+
+func (o Options) context() context.Context {
+	if o.Context == nil {
+		return context.Background()
+	}
+	return o.Context
 }
 
 func (o Options) workers(trials int) int {
@@ -101,6 +118,7 @@ func Run[T any](spec Spec[T], opts Options) ([]T, error) {
 func Fold[T, A any](spec Spec[T], opts Options, acc A, merge func(A, Trial, T) A) (A, error) {
 	pending := make(map[int]T)
 	next := 0
+	ctx := opts.context()
 	err := dispatch(spec.Name, spec.Trials, spec.Seed, opts, func(t Trial) (T, error) {
 		return spec.Run(t)
 	}, func(t Trial, v T) {
@@ -111,7 +129,7 @@ func Fold[T, A any](spec Spec[T], opts Options, acc A, merge func(A, Trial, T) A
 				break
 			}
 			delete(pending, next)
-			acc = merge(acc, Trial{Index: next, Seed: DeriveSeed(spec.Seed, int64(next))}, r)
+			acc = merge(acc, Trial{Index: next, Seed: DeriveSeed(spec.Seed, int64(next)), Ctx: ctx}, r)
 			next++
 		}
 	}, func() int { return next })
@@ -126,6 +144,7 @@ func dispatch[T any](name string, trials int, seed int64, opts Options,
 	if trials <= 0 {
 		return nil
 	}
+	ctx := opts.context()
 	var (
 		nextIdx  atomic.Int64
 		failed   atomic.Bool
@@ -141,10 +160,10 @@ func dispatch[T any](name string, trials int, seed int64, opts Options,
 			defer wg.Done()
 			for {
 				i := int(nextIdx.Add(1)) - 1
-				if i >= trials || failed.Load() {
+				if i >= trials || failed.Load() || ctx.Err() != nil {
 					return
 				}
-				t := Trial{Index: i, Seed: DeriveSeed(seed, int64(i))}
+				t := Trial{Index: i, Seed: DeriveSeed(seed, int64(i)), Ctx: ctx}
 				v, err := run(t)
 				mu.Lock()
 				if err != nil {
@@ -169,11 +188,17 @@ func dispatch[T any](name string, trials int, seed int64, opts Options,
 		}()
 	}
 	wg.Wait()
+	label := name
+	if label == "" {
+		label = "experiment"
+	}
+	// Cancellation wins over trial errors: an interrupted trial fails
+	// with the context's error anyway, and reporting it as an experiment
+	// failure would misattribute an operator Ctrl-C to the workload.
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("runner: %s canceled: %w", label, err)
+	}
 	if firstErr != nil {
-		label := name
-		if label == "" {
-			label = "experiment"
-		}
 		return fmt.Errorf("runner: %s trial %d: %w", label, errIdx, firstErr)
 	}
 	return nil

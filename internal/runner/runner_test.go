@@ -1,10 +1,13 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // trialValue is a deliberately order-sensitive per-trial computation: it
@@ -159,5 +162,85 @@ func TestDeriveSeed(t *testing.T) {
 	tr := Trial{Index: 3, Seed: DeriveSeed(9, 3)}
 	if tr.Derive(5) != DeriveSeed(DeriveSeed(9, 3), 5) {
 		t.Error("Trial.Derive disagrees with DeriveSeed")
+	}
+}
+
+// TestCancellation: once the context is canceled, no new trials are
+// dispatched, trials blocked on Trial.Ctx unblock promptly, and Fold
+// returns the context's error instead of draining the whole pool.
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const trials = 64
+	var started atomic.Int64
+	release := make(chan struct{})
+	spec := Spec[int]{
+		Name:   "cancelable",
+		Trials: trials,
+		Seed:   1,
+		Run: func(tr Trial) (int, error) {
+			if started.Add(1) == 2 {
+				close(release)
+			}
+			// An in-flight trial observes its context, exactly like a
+			// sim engine with SetCancel installed.
+			select {
+			case <-tr.Ctx.Done():
+				return 0, tr.Ctx.Err()
+			case <-time.After(30 * time.Second):
+				return tr.Index, nil
+			}
+		},
+	}
+	go func() {
+		<-release
+		cancel()
+	}()
+	done := make(chan struct{})
+	var foldErr error
+	merged := 0
+	go func() {
+		defer close(done)
+		_, foldErr = Fold(spec, Options{Workers: 2, Context: ctx}, 0,
+			func(a int, _ Trial, _ int) int { merged = a + 1; return merged })
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Fold did not return after cancellation; pool drained instead")
+	}
+	if !errors.Is(foldErr, context.Canceled) {
+		t.Fatalf("Fold error = %v, want context.Canceled", foldErr)
+	}
+	if n := started.Load(); n >= trials {
+		t.Errorf("all %d trials were dispatched despite cancellation", n)
+	}
+}
+
+// TestCancelBeforeStart: a context canceled before Run is called
+// dispatches nothing.
+func TestCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := Spec[int]{Name: "dead", Trials: 8, Seed: 1,
+		Run: func(tr Trial) (int, error) { t.Error("ran a trial"); return 0, nil }}
+	if _, err := Run(spec, Options{Context: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+}
+
+// TestTrialCtxDefaultsToBackground: without an Options.Context, trials
+// still receive a non-nil context.
+func TestTrialCtxDefaultsToBackground(t *testing.T) {
+	spec := Spec[int]{Name: "bg", Trials: 1, Seed: 1,
+		Run: func(tr Trial) (int, error) {
+			if tr.Ctx == nil {
+				t.Error("Trial.Ctx is nil")
+			} else if err := tr.Ctx.Err(); err != nil {
+				t.Errorf("Trial.Ctx already done: %v", err)
+			}
+			return 0, nil
+		}}
+	if _, err := Run(spec, Options{}); err != nil {
+		t.Fatal(err)
 	}
 }

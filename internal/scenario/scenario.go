@@ -39,6 +39,9 @@ const (
 	// its keep: the preferred color never stabilizes, yet every packet
 	// may still switch to the other color once and be delivered.
 	LinkFlap
+	// PrefixWithdraw has the origin withdraw its prefix: no topology
+	// damage, pure control-plane retraction racing the data plane.
+	PrefixWithdraw
 )
 
 // String names the kind as in the paper's figures.
@@ -54,6 +57,8 @@ func (k Kind) String() string {
 		return "single node failure"
 	case LinkFlap:
 		return "link flap (repeated fail/restore)"
+	case PrefixWithdraw:
+		return "prefix withdraw"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -74,8 +79,10 @@ func ParseKind(s string) (Kind, error) {
 		return NodeFailure, nil
 	case "link-flap":
 		return LinkFlap, nil
+	case "prefix-withdraw":
+		return PrefixWithdraw, nil
 	}
-	return 0, fmt.Errorf("unknown scenario %q (want single-link, two-links-apart, two-links-shared, node-failure, or link-flap)", s)
+	return 0, fmt.Errorf("unknown scenario %q (want single-link, two-links-apart, two-links-shared, node-failure, link-flap, or prefix-withdraw)", s)
 }
 
 // Set is one instantiated workload: the destination plus the links to
@@ -108,6 +115,12 @@ func Pick(g *topology.Graph, multihomed []topology.ASN, k Kind, rng *rand.Rand) 
 	const maxTries = 1000
 	for try := 0; try < maxTries; try++ {
 		dest := multihomed[rng.Intn(len(multihomed))]
+		if k == PrefixWithdraw {
+			// No failure to place — the workload is just the origin. The
+			// provider draw below is skipped so the RNG stream matches the
+			// historical scenario.Named derivation.
+			return Set{Dest: dest, Node: -1}, nil
+		}
 		provs := g.Providers(dest)
 		p := provs[rng.Intn(len(provs))]
 		fs := Set{Dest: dest, Node: -1}

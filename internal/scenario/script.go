@@ -135,6 +135,35 @@ func FlapScript(name string, s Set) Script {
 	return sc
 }
 
+// ScriptFor lays a picked set out as the kind's canonical script:
+// FlapCycles fail/restore rounds for LinkFlap, a bare origin withdrawal
+// for PrefixWithdraw, everything at offset zero otherwise. Script is the
+// canonical workload form — the Set is just the picker's intermediate —
+// so every harness (transient, sweep, loss, live emulation) executes the
+// same event stream for the same instance.
+func ScriptFor(k Kind, s Set) Script {
+	switch k {
+	case LinkFlap:
+		return FlapScript(k.String(), s)
+	case PrefixWithdraw:
+		return Script{Name: k.String(), Dest: s.Dest, Events: []Event{
+			{Op: OpWithdraw, Node: s.Dest},
+		}}
+	}
+	return FromSet(k.String(), s)
+}
+
+// PickScript draws a workload instance of the kind and returns it in
+// canonical Script form; the same rng sequence always yields the same
+// script.
+func PickScript(g *topology.Graph, multihomed []topology.ASN, k Kind, rng *rand.Rand) (Script, error) {
+	s, err := Pick(g, multihomed, k, rng)
+	if err != nil {
+		return Script{}, err
+	}
+	return ScriptFor(k, s), nil
+}
+
 // Names lists the script names Named accepts.
 func Names() []string {
 	return []string{
@@ -148,27 +177,9 @@ func Names() []string {
 // "link-flap", FlapCycles fail/restore rounds of one destination provider
 // link) and "prefix-withdraw" (the origin withdraws its prefix).
 func Named(name string, g *topology.Graph, seed int64) (Script, error) {
-	rng := rand.New(rand.NewSource(seed))
-	mh := Multihomed(g)
-	if name == "prefix-withdraw" {
-		if len(mh) == 0 {
-			return Script{}, fmt.Errorf("scenario: topology has no multi-homed AS")
-		}
-		dest := mh[rng.Intn(len(mh))]
-		return Script{Name: name, Dest: dest, Events: []Event{
-			{Op: OpWithdraw, Node: dest},
-		}}, nil
-	}
 	k, err := ParseKind(name)
-	if err != nil {
-		return Script{}, fmt.Errorf("%w (or prefix-withdraw)", err)
-	}
-	set, err := Pick(g, mh, k, rng)
 	if err != nil {
 		return Script{}, err
 	}
-	if k == LinkFlap {
-		return FlapScript(name, set), nil
-	}
-	return FromSet(name, set), nil
+	return PickScript(g, Multihomed(g), k, rand.New(rand.NewSource(seed)))
 }

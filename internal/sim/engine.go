@@ -7,6 +7,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -87,6 +88,32 @@ type Engine struct {
 	// experiment drivers use it to observe the data plane between routing
 	// steps.
 	PostEvent func()
+
+	cancel context.Context
+}
+
+// cancelCheckInterval is how many events the run loops execute between
+// cancellation polls: frequent enough that Ctrl-C interrupts a
+// long-converging trial within microseconds of real work, rare enough
+// that the atomic load in ctx.Err never shows up in profiles.
+const cancelCheckInterval = 4096
+
+// SetCancel installs a cancellation context on the engine. Run and
+// RunUntil poll it every cancelCheckInterval events and stop with its
+// error, so an in-flight simulation is interrupted promptly when the
+// caller (e.g. internal/runner under Ctrl-C) cancels. nil removes the
+// check.
+func (e *Engine) SetCancel(ctx context.Context) { e.cancel = ctx }
+
+// canceled reports the cancellation error, polled sparsely by event
+// count.
+func (e *Engine) canceled() error {
+	if e.cancel != nil && e.count%cancelCheckInterval == 0 {
+		if err := e.cancel.Err(); err != nil {
+			return fmt.Errorf("sim: run canceled at t=%v: %w", e.now, err)
+		}
+	}
+	return nil
 }
 
 // NewEngine returns an engine with the given parameters and RNG seed.
@@ -145,6 +172,9 @@ func (e *Engine) Run() (int, error) {
 		if e.count >= e.P.MaxEvents {
 			return e.count - start, fmt.Errorf("sim: exceeded %d events at t=%v; protocol may not converge", e.P.MaxEvents, e.now)
 		}
+		if err := e.canceled(); err != nil {
+			return e.count - start, err
+		}
 		ev := heap.Pop(&e.events).(event)
 		if ev.at < e.now {
 			return e.count - start, fmt.Errorf("sim: time went backwards (%v -> %v)", e.now, ev.at)
@@ -166,6 +196,9 @@ func (e *Engine) RunUntil(deadline time.Duration) (int, error) {
 	for len(e.events) > 0 && e.events.peek() <= deadline {
 		if e.count >= e.P.MaxEvents {
 			return e.count - start, fmt.Errorf("sim: exceeded %d events at t=%v", e.P.MaxEvents, e.now)
+		}
+		if err := e.canceled(); err != nil {
+			return e.count - start, err
 		}
 		ev := heap.Pop(&e.events).(event)
 		e.now = ev.at

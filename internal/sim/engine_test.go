@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 )
@@ -154,5 +156,31 @@ func TestEnginePostEvent(t *testing.T) {
 	}
 	if posts != 2 {
 		t.Errorf("PostEvent ran %d times, want 2", posts)
+	}
+}
+
+// TestEngineCancel: an engine with a canceled context installed stops
+// mid-run with the context error instead of draining its queue.
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(DefaultParams(), 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	e.SetCancel(ctx)
+	// Self-rescheduling event: without cancellation this would run until
+	// MaxEvents.
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n == 3*cancelCheckInterval {
+			cancel()
+		}
+		e.After(time.Millisecond, tick)
+	}
+	e.After(0, tick)
+	if _, err := e.Run(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+	if n >= 4*cancelCheckInterval {
+		t.Errorf("engine executed %d events after cancellation", n-3*cancelCheckInterval)
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"stamp/internal/core"
 	"stamp/internal/emu"
 	"stamp/internal/scenario"
 )
@@ -33,10 +32,10 @@ func (o EmuOpts) withDefaults() EmuOpts {
 		o.Flows = DefaultFlows
 	}
 	if o.Tick <= 0 {
-		o.Tick = defaultEmuTick
+		o.Tick = DefaultEmuTick
 	}
 	if o.Ticks <= 0 {
-		o.Ticks = defaultEmuTicks
+		o.Ticks = DefaultEmuTicks
 	}
 	return o
 }
@@ -112,40 +111,9 @@ func RunEmu(o EmuOpts) (*Curve, error) {
 	return cur, f.Err()
 }
 
-// ParityResult is one sim-vs-live transient-deliverability comparison.
-type ParityResult struct {
-	Sim, Live   *Curve
-	Divergences []Divergence
-}
-
-// RunParity drives the same flows through both backends — the live
-// fabric and the simulator in the deterministic reference configuration
-// (emu.ReferenceParams, first-candidate lock picks) — and diffs the
-// converged deliverability per source. It extends internal/emu's
-// control-plane Tables.Diff to the data plane: identical tables must
-// yield identical packet fates and path lengths. Transient windows are
-// reported on both curves but not gated: wall-clock and virtual-time
-// message orderings explore different intermediate states, and only the
-// fixpoint is deterministic across worlds.
-func RunParity(o EmuOpts, seed int64) (*ParityResult, error) {
-	o = o.withDefaults()
-	live, err := RunEmu(o)
-	if err != nil {
-		return nil, fmt.Errorf("traffic: emu backend: %w", err)
-	}
-	sim, err := RunSim(SimOpts{
-		G:        o.Fabric.Graph,
-		Proto:    STAMP,
-		Params:   emu.ReferenceParams(),
-		Script:   o.Script,
-		Flows:    o.Flows,
-		Tick:     o.Tick,
-		Ticks:    o.Ticks,
-		Seed:     seed,
-		BluePick: core.FirstBluePicker(),
-	})
-	if err != nil {
-		return nil, fmt.Errorf("traffic: sim reference: %w", err)
-	}
-	return &ParityResult{Sim: sim, Live: live, Divergences: sim.DiffFinal(live)}, nil
-}
+// The sim-vs-live transient-deliverability parity recipe — the live
+// curve diffed against the simulator in the deterministic reference
+// configuration (emu.ReferenceParams, first-candidate lock picks) —
+// lives in internal/lab's loss experiment (emu backend), where both
+// curves run through the shared lab.Backend interface. Its fixture test
+// is internal/lab's TestSimEmuTransientParity.

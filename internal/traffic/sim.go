@@ -1,6 +1,7 @@
 package traffic
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,8 +21,8 @@ const (
 	DefaultFlows    = 1
 	DefaultTick     = 25 * time.Millisecond
 	DefaultTicks    = 2400
-	defaultEmuTick  = 10 * time.Millisecond
-	defaultEmuTicks = 150
+	DefaultEmuTick  = 10 * time.Millisecond
+	DefaultEmuTicks = 150
 )
 
 // SimOpts configures one simulated flow-injection run.
@@ -48,6 +49,9 @@ type SimOpts struct {
 	// random; the sim-vs-emu parity path uses core.FirstBluePicker to
 	// match the live fleet).
 	BluePick core.BluePicker
+	// Context, when non-nil, interrupts the engine mid-run on
+	// cancellation.
+	Context context.Context
 }
 
 func (o SimOpts) withDefaults() SimOpts {
@@ -77,6 +81,9 @@ func RunSim(o SimOpts) (*Curve, error) {
 	}
 	o = o.withDefaults()
 	in := newInstance(o.Proto, o.G, o.Params, o.Seed, o.Script.Dest, o.BluePick)
+	if o.Context != nil {
+		in.e.SetCancel(o.Context)
+	}
 	if _, err := in.e.Run(); err != nil {
 		return nil, fmt.Errorf("traffic: initial convergence: %w", err)
 	}
