@@ -13,9 +13,11 @@ package stamp
 // EXPERIMENTS.md for the recorded comparison.
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
+	"stamp/internal/atlas"
 	"stamp/internal/disjoint"
 	"stamp/internal/emu"
 	"stamp/internal/experiments"
@@ -356,6 +358,63 @@ func BenchmarkLossCurve(b *testing.B) {
 		}
 		b.ReportMetric(float64(cur.LostPacketTicks), "lostPktTicks")
 	}
+}
+
+// BenchmarkAtlasConverge prices the atlas tentpole on a 10,000-AS
+// topology: one full destination shard — three-plane initial
+// convergence plus a flap-storm script — on the flat slab engine vs the
+// map-based reference (identical algorithm and outcomes, classic
+// per-AS-map storage). The flat/map ns-per-op ratio is the subsystem's
+// headline speedup; the flat variant must report 0 allocs/op (also
+// pinned by TestConvergeHotLoopAllocs).
+func BenchmarkAtlasConverge(b *testing.B) {
+	const n = 10_000
+	tg, err := topology.GenerateDefault(n, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := atlas.FromTopology(tg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	script, err := scenario.PickScript(g, scenario.Multihomed(g), scenario.FlapStorm,
+		rand.New(rand.NewSource(benchSeed)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	groups := atlas.GroupEvents(script)
+	dests, err := atlas.Destinations(g, 1, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dest := dests[0]
+
+	b.Run("flat", func(b *testing.B) {
+		eng := atlas.NewEngine(g, atlas.DefaultParams())
+		st := eng.NewState()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var rounds int32
+		for i := 0; i < b.N; i++ {
+			out, err := eng.ConvergeDest(st, dest, groups)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds = out.BGP.InitRounds + out.BGP.ReconvRounds
+		}
+		b.ReportMetric(float64(rounds), "bgp-rounds")
+	})
+	b.Run("map", func(b *testing.B) {
+		eng := atlas.NewMapEngine(g, atlas.DefaultParams())
+		st := eng.NewState()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.ConvergeDest(st, dest, groups); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkEngineThroughput measures raw simulator performance: events

@@ -1,0 +1,840 @@
+package atlas
+
+import (
+	"fmt"
+	"slices"
+
+	"stamp/internal/scenario"
+	"stamp/internal/topology"
+)
+
+// The atlas engine models interdomain convergence at routing-round
+// granularity instead of message granularity: per destination, every AS
+// holds one current route and one advertised route per plane (BGP, and
+// STAMP's red and blue), and a round advances in two phases — every AS
+// adjacent to a change recomputes its best route from its neighbors'
+// advertisements (a Jacobi step, so within-round order cannot matter),
+// then ASes whose advertisement is stale and whose MRAI gate is open
+// publish. Failures are applied as an instantaneous invalidation
+// cascade (routes whose forwarding chain crosses a dead link or AS are
+// withdrawn everywhere before re-convergence starts), so the engine
+// never forms transient loops and always terminates; what it measures
+// is repair time and repair churn, not path exploration. The classic
+// message-level engines remain the reference for exploration dynamics;
+// the fixpoints agree exactly (pinned against topology.StaticRoutes).
+//
+// All state lives in preallocated slabs indexed by AS; the convergence
+// loop performs no allocation (pinned by TestConvergeHotLoopAllocs).
+
+// Plane indices.
+const (
+	planeBGP = iota
+	planeRed
+	planeBlue
+	planeCount
+)
+
+// Route-kind ranks: the Gao-Rexford preference order. Lower is better;
+// kindNone never wins a comparison.
+const (
+	kindNone     = int8(0)
+	kindCustomer = int8(1) // customer-learned or locally originated
+	kindPeer     = int8(2)
+	kindProvider = int8(3)
+)
+
+const inf = int32(1 << 30)
+
+// NoMRAI disables advertisement pacing when assigned to
+// Params.MRAIRounds. The zero Params value means "defaults" at the
+// Run/Options layer, so "off" needs an explicit sentinel.
+const NoMRAI = -1
+
+// Params tunes the engine.
+type Params struct {
+	// MRAIRounds is the minimum number of rounds between an AS's
+	// successive advertisements — the round-granularity image of BGP's
+	// MRAI timer (a minimum inter-advertisement interval). A value of
+	// 1 adds no damping beyond the natural one-publication-per-round
+	// cadence; use NoMRAI (or 1) to disable pacing, and note a zero
+	// Params struct passed to Run means DefaultParams.
+	MRAIRounds int
+}
+
+// DefaultParams mirrors the paper's "MRAI on" configuration at round
+// granularity.
+func DefaultParams() Params { return Params{MRAIRounds: 2} }
+
+// Engine converges destinations on one immutable CSR graph.
+type Engine struct {
+	g *Graph
+	p Params
+}
+
+// NewEngine builds an engine over g.
+func NewEngine(g *Graph, p Params) *Engine { return &Engine{g: g, p: p} }
+
+// Graph returns the engine's topology.
+func (e *Engine) Graph() *Graph { return e.g }
+
+// PlaneOutcome aggregates one plane's behavior at one destination.
+type PlaneOutcome struct {
+	// InitRounds is the round count of initial convergence from scratch.
+	InitRounds int32 `json:"init_rounds"`
+	// ReconvRounds sums re-convergence rounds over all event groups;
+	// MaxReconvRounds is the worst single group.
+	ReconvRounds    int32 `json:"reconv_rounds"`
+	MaxReconvRounds int32 `json:"max_reconv_rounds"`
+	// Changed counts distinct ASes whose route changed, summed over
+	// event groups.
+	Changed int64 `json:"changed"`
+	// LostASRounds counts (AS, round) pairs without a route during
+	// re-convergence, for ASes that have a route again once the group
+	// converges — the transient loss integral.
+	LostASRounds int64 `json:"lost_as_rounds"`
+	// PermLostASRounds counts routeless rounds of ASes still routeless
+	// at group convergence (the damage was partition, not transient).
+	PermLostASRounds int64 `json:"perm_lost_as_rounds"`
+	// UnreachableFinal counts ASes without a route after the last group.
+	UnreachableFinal int32 `json:"unreachable_final"`
+}
+
+// DestOutcome is one destination shard's result.
+type DestOutcome struct {
+	Dest topology.ASN `json:"dest"`
+	// DestASN is the destination's original (snapshot) ASN, filled by
+	// Run so an ingested graph's per-destination results can be
+	// correlated with real-world ASNs; the engines themselves work in
+	// dense internal ids and leave it zero.
+	DestASN int64        `json:"dest_asn,omitempty"`
+	Groups  int          `json:"groups"`
+	BGP     PlaneOutcome `json:"bgp"`
+	Red     PlaneOutcome `json:"red"`
+	Blue    PlaneOutcome `json:"blue"`
+	// StampLostASRounds is the STAMP data-plane transient loss: per AS
+	// and group, min(red, blue) routeless rounds — a packet switches to
+	// the other color's route, so it is lost only while both planes are
+	// down.
+	StampLostASRounds int64 `json:"stamp_lost_as_rounds"`
+	// StampUnreachableFinal counts ASes with neither a red nor a blue
+	// route after the last group.
+	StampUnreachableFinal int32 `json:"stamp_unreachable_final"`
+}
+
+// State is one worker's preallocated slab set: every per-(AS, plane)
+// quantity the convergence loop touches, sized once for the graph and
+// reused across destination shards. Not goroutine-safe; use one State
+// per worker.
+type State struct {
+	g    *Graph
+	dest topology.ASN
+
+	withdrawn bool
+	down      []bool // per directed adjacency entry
+	nodeDown  []bool
+
+	// Blue lock chain: lockNext[a] is the locked provider of chain
+	// member a (-1 off-chain); chain holds the members in order.
+	lockNext  []int32
+	onChain   []bool
+	chain     []int32
+	prevChain []int32
+
+	// Per-plane route state. cur is the route in use (the forwarding
+	// state); adv is the advertised route neighbors see; via is the
+	// adjacency-entry index of the next hop (-1 none, -2 origin).
+	curKind [planeCount][]int8
+	curDist [planeCount][]int32
+	curVia  [planeCount][]int32
+	advKind [planeCount][]int8
+	advDist [planeCount][]int32
+
+	// Shared per-window scratch (one plane converges at a time).
+	ready     []int32
+	front     []int32
+	inFront   []bool
+	frontLen  int
+	pend      []int32
+	inPend    []bool
+	wantPub   []bool
+	pendLen   int
+	lostSince []int32
+
+	// Per-group accounting. hadStart records, per plane, whether the AS
+	// had a route when the group's events hit: loss is only counted for
+	// ASes that actually lost service, not for ones a plane never
+	// covered (blue legitimately serves a subset of the graph).
+	// permMark flags ASes a plane failed to re-serve by group end;
+	// their lostAcc then holds the full window outage (gaps + tail) so
+	// the STAMP min() sees the dead plane as down all window, while the
+	// per-plane transient integral excludes them.
+	lostAcc      [planeCount][]int32
+	hadStart     [planeCount][]bool
+	permMark     [planeCount][]bool
+	changedStamp [planeCount][]int32
+	epoch        int32
+
+	// out is the shard-result scratch the driver fills (see
+	// engineState.outcome).
+	out DestOutcome
+}
+
+// outcome implements engineState.
+func (st *State) outcome() *DestOutcome { return &st.out }
+
+// NewState allocates the slab set for the engine's graph.
+func (e *Engine) NewState() *State {
+	n := e.g.Len()
+	st := &State{
+		g:         e.g,
+		down:      make([]bool, e.g.Edges()),
+		nodeDown:  make([]bool, n),
+		lockNext:  make([]int32, n),
+		onChain:   make([]bool, n),
+		chain:     make([]int32, 0, 64),
+		prevChain: make([]int32, 0, 64),
+		ready:     make([]int32, n),
+		front:     make([]int32, 0, n),
+		inFront:   make([]bool, n),
+		pend:      make([]int32, 0, n),
+		inPend:    make([]bool, n),
+		wantPub:   make([]bool, n),
+		lostSince: make([]int32, n),
+	}
+	for p := 0; p < planeCount; p++ {
+		st.curKind[p] = make([]int8, n)
+		st.curDist[p] = make([]int32, n)
+		st.curVia[p] = make([]int32, n)
+		st.advKind[p] = make([]int8, n)
+		st.advDist[p] = make([]int32, n)
+		st.lostAcc[p] = make([]int32, n)
+		st.hadStart[p] = make([]bool, n)
+		st.permMark[p] = make([]bool, n)
+		st.changedStamp[p] = make([]int32, n)
+	}
+	for i := range st.lockNext {
+		st.lockNext[i] = -1
+	}
+	return st
+}
+
+// reset returns the state to pristine for a new destination shard.
+func (st *State) reset(dest topology.ASN) {
+	st.dest = dest
+	st.withdrawn = false
+	clear(st.down)
+	clear(st.nodeDown)
+	st.clearChain()
+	for p := 0; p < planeCount; p++ {
+		clear(st.curKind[p])
+		clear(st.advKind[p])
+		clear(st.lostAcc[p])
+		clear(st.hadStart[p])
+		clear(st.permMark[p])
+		clear(st.changedStamp[p])
+	}
+	st.epoch = 0
+	st.frontLen, st.pendLen = 0, 0
+	clear(st.inFront)
+	clear(st.inPend)
+	clear(st.wantPub)
+}
+
+func (st *State) clearChain() {
+	for _, v := range st.chain {
+		st.lockNext[v] = -1
+		st.onChain[v] = false
+	}
+	st.chain = st.chain[:0]
+}
+
+// computeChain rebuilds the blue lock chain from dest upward: each
+// member locks its lowest-numbered live provider, mirroring the live
+// fleet's deterministic FirstBluePicker. Returns true when the chain
+// differs from the previous one.
+func (st *State) computeChain() bool {
+	st.prevChain = append(st.prevChain[:0], st.chain...)
+	st.clearChain()
+	if st.withdrawn || st.nodeDown[st.dest] {
+		return !slices.Equal(st.chain, st.prevChain)
+	}
+	v := st.dest
+	for {
+		st.chain = append(st.chain, int32(v))
+		st.onChain[v] = true
+		lp := topology.ASN(-1)
+		provs := st.g.Providers(v)
+		base := st.g.off[v]
+		for i, p := range provs {
+			if st.down[base+int32(i)] || st.nodeDown[p] {
+				continue
+			}
+			lp = p
+			break // providers are sorted ascending: first live is lowest
+		}
+		if lp < 0 {
+			break
+		}
+		st.lockNext[v] = int32(lp)
+		if st.onChain[lp] {
+			break // unreachable in a DAG; guard anyway
+		}
+		v = lp
+	}
+	return !slices.Equal(st.chain, st.prevChain)
+}
+
+// initPlane seeds a plane from scratch: origin at dest, everything else
+// routeless, queues holding just the origin's first advertisement.
+func (st *State) initPlane(p int) {
+	n := st.g.Len()
+	for a := 0; a < n; a++ {
+		st.curKind[p][a] = kindNone
+		st.curDist[p][a] = inf
+		st.curVia[p][a] = -1
+		st.advKind[p][a] = kindNone
+		st.advDist[p][a] = inf
+	}
+	st.frontLen, st.pendLen = 0, 0
+	if st.withdrawn || st.nodeDown[st.dest] {
+		return
+	}
+	d := st.dest
+	st.curKind[p][d] = kindCustomer
+	st.curDist[p][d] = 0
+	st.curVia[p][d] = -2
+	st.pendAdd(int32(d))
+}
+
+func (st *State) frontAdd(a int32) {
+	if !st.inFront[a] {
+		st.inFront[a] = true
+		st.front = append(st.front[:st.frontLen], a)
+		st.frontLen++
+	}
+}
+
+func (st *State) pendAdd(a int32) {
+	st.wantPub[a] = true
+	if !st.inPend[a] {
+		st.inPend[a] = true
+		st.pend = append(st.pend[:st.pendLen], a)
+		st.pendLen++
+	}
+}
+
+// exportsUp reports whether customer w would announce its plane-p
+// route up to its provider a: valley-free (only customer-learned or
+// originated routes climb) plus STAMP's selective announcement rules.
+// Downhill and lateral exports are unrestricted and are handled inline
+// in recompute.
+func (st *State) exportsUp(p int, w topology.ASN, a int32) bool {
+	if st.advKind[p][w] != kindCustomer {
+		return false
+	}
+	switch p {
+	case planeRed:
+		// The locked blue provider receives no red.
+		return st.lockNext[w] != a
+	case planeBlue:
+		if st.onChain[w] {
+			// Locked blue climbs exactly one provider edge.
+			return st.lockNext[w] == a
+		}
+		// Red precedence: an off-chain AS whose red route is exportable
+		// up sends red to every provider, so blue stays home. (Red has
+		// already converged for this window.)
+		return st.curKind[planeRed][w] != kindCustomer
+	}
+	return true
+}
+
+// recompute evaluates a's best plane-p route from its neighbors'
+// advertisements, returning true when the current route changed.
+func (st *State) recompute(p int, a int32) bool {
+	g := st.g
+	bestKind, bestDist, bestVia := kindNone, inf, int32(-1)
+	if !st.nodeDown[a] {
+		lo, hi := g.off[a], g.off[a+1]
+		provEnd, peerEnd := g.provEnd[a], g.peerEnd[a]
+		for e := lo; e < hi; e++ {
+			if st.down[e] {
+				continue
+			}
+			w := g.nbr[e]
+			if st.nodeDown[w] {
+				continue
+			}
+			wk := st.advKind[p][w]
+			if wk == kindNone {
+				continue
+			}
+			var offerKind int8
+			switch {
+			case e < provEnd:
+				// w is a's provider; w exports anything downhill; a
+				// imports it as a provider route.
+				offerKind = kindProvider
+			case e < peerEnd:
+				if wk != kindCustomer {
+					continue
+				}
+				offerKind = kindPeer
+			default:
+				// w is a's customer announcing up.
+				if !st.exportsUp(p, w, a) {
+					continue
+				}
+				offerKind = kindCustomer
+			}
+			d := st.advDist[p][w] + 1
+			if bestKind == kindNone || offerKind < bestKind ||
+				(offerKind == bestKind && (d < bestDist ||
+					(d == bestDist && w < g.nbr[bestVia]))) {
+				bestKind, bestDist, bestVia = offerKind, d, e
+			}
+		}
+	}
+	if bestKind == st.curKind[p][a] && bestVia == st.curVia[p][a] &&
+		(bestKind == kindNone || bestDist == st.curDist[p][a]) {
+		return false
+	}
+	st.curKind[p][a] = bestKind
+	st.curDist[p][a] = bestDist
+	st.curVia[p][a] = bestVia
+	return true
+}
+
+// markChanged stamps a as changed in this group's epoch and returns
+// true the first time.
+func (st *State) markChanged(p int, a int32) bool {
+	if st.changedStamp[p][a] == st.epoch {
+		return false
+	}
+	st.changedStamp[p][a] = st.epoch
+	return true
+}
+
+// converge runs plane p to fixpoint, starting from whatever the queues
+// hold, tracking loss and churn into out. This is the hot loop: it
+// allocates nothing (front/pend were sized to n up front).
+func (st *State) converge(p int, mrai int32, out *PlaneOutcome) (int32, error) {
+	g := st.g
+	// Safety bound: Gao-Rexford policies are provably safe under any
+	// activation order, so this fires only on an engine bug.
+	maxRounds := int32(10_000) + 16*int32(g.Len())
+	round := int32(0)
+	for st.frontLen > 0 || st.pendLen > 0 {
+		round++
+		if round > maxRounds {
+			return round, fmt.Errorf("atlas: plane %d exceeded %d rounds at dest %d; engine bug", p, maxRounds, st.dest)
+		}
+		// Phase 1: every frontier AS re-evaluates from advertisements.
+		fl := st.frontLen
+		st.frontLen = 0
+		for i := 0; i < fl; i++ {
+			a := st.front[i]
+			st.inFront[a] = false
+			if topology.ASN(a) == st.dest && !st.withdrawn && !st.nodeDown[a] {
+				continue // the origin's route is pinned
+			}
+			had := st.curKind[p][a] != kindNone
+			if !st.recompute(p, a) {
+				continue
+			}
+			if st.markChanged(p, a) {
+				out.Changed++
+			}
+			has := st.curKind[p][a] != kindNone
+			if st.hadStart[p][a] {
+				if had && !has {
+					st.lostSince[a] = round
+				}
+				if !had && has {
+					st.lostAcc[p][a] += round - st.lostSince[a]
+				}
+			}
+			if st.curKind[p][a] != st.advKind[p][a] ||
+				(st.curKind[p][a] != kindNone && st.curDist[p][a] != st.advDist[p][a]) {
+				st.pendAdd(a)
+			} else {
+				st.wantPub[a] = false
+			}
+		}
+		// Phase 2: publish advertisements whose MRAI gate is open.
+		w := 0
+		for i := 0; i < st.pendLen; i++ {
+			a := st.pend[i]
+			if !st.wantPub[a] {
+				st.inPend[a] = false
+				continue
+			}
+			if round < st.ready[a] {
+				st.pend[w] = a
+				w++
+				continue
+			}
+			st.inPend[a] = false
+			st.wantPub[a] = false
+			st.advKind[p][a] = st.curKind[p][a]
+			st.advDist[p][a] = st.curDist[p][a]
+			st.ready[a] = round + mrai
+			for e := g.off[a]; e < g.off[a+1]; e++ {
+				if st.down[e] || st.nodeDown[g.nbr[e]] {
+					continue
+				}
+				st.frontAdd(int32(g.nbr[e]))
+			}
+		}
+		st.pendLen = w
+	}
+	return round, nil
+}
+
+// cascade invalidates every plane-p route whose forwarding chain
+// crosses a dead link or AS, clearing cur and adv together (the engine
+// propagates withdrawals instantaneously — see the package comment) and
+// queueing the victims for re-convergence. Runs sweeps to fixpoint.
+func (st *State) cascade(p int, out *PlaneOutcome) {
+	g := st.g
+	n := int32(g.Len())
+	for {
+		any := false
+		for a := int32(0); a < n; a++ {
+			if st.curKind[p][a] == kindNone {
+				continue
+			}
+			dead := st.nodeDown[a]
+			if !dead {
+				if topology.ASN(a) == st.dest && st.curVia[p][a] == -2 {
+					dead = st.withdrawn
+				} else {
+					e := st.curVia[p][a]
+					next := g.nbr[e]
+					dead = st.down[e] || st.nodeDown[next] || st.curKind[p][next] == kindNone
+				}
+			}
+			if !dead {
+				continue
+			}
+			st.curKind[p][a] = kindNone
+			st.curDist[p][a] = inf
+			st.curVia[p][a] = -1
+			st.advKind[p][a] = kindNone
+			st.advDist[p][a] = inf
+			st.lostSince[a] = 0
+			if st.markChanged(p, a) {
+				out.Changed++
+			}
+			st.frontAdd(a)
+			any = true
+		}
+		if !any {
+			return
+		}
+	}
+}
+
+// settleGroup finishes a group's accounting for plane p: transient vs
+// permanent loss split by whether the AS is reachable at group end.
+// Only ASes the plane served at group start can have lost anything. A
+// permanently unserved AS keeps its full window outage (earlier gaps
+// plus the open tail) in lostAcc under a permMark, so the STAMP min()
+// in accumulateGroupLoss sees the dead plane as down the whole window
+// instead of as lossless.
+func (st *State) settleGroup(p int, endRound int32, out *PlaneOutcome) {
+	n := st.g.Len()
+	for a := 0; a < n; a++ {
+		if st.hadStart[p][a] && st.curKind[p][a] == kindNone {
+			tail := endRound - st.lostSince[a]
+			out.PermLostASRounds += int64(st.lostAcc[p][a]) + int64(tail)
+			st.lostAcc[p][a] += tail
+			st.permMark[p][a] = true
+		}
+	}
+}
+
+// GroupEvents splits a script into event groups by offset: every event
+// at one offset applies atomically, and the engine re-converges fully
+// between groups. This is the form ConvergeDest consumes; Run calls it
+// internally, and benchmarks call it to drive the engine directly.
+func GroupEvents(script scenario.Script) [][]scenario.Event { return groupEvents(script) }
+
+// groupEvents is the internal implementation of GroupEvents.
+func groupEvents(script scenario.Script) [][]scenario.Event {
+	events := script.Sorted()
+	var groups [][]scenario.Event
+	for i := 0; i < len(events); {
+		j := i
+		for j < len(events) && events[j].At == events[i].At {
+			j++
+		}
+		groups = append(groups, events[i:j])
+		i = j
+	}
+	return groups
+}
+
+// apply mutates link/node/origin state for one event.
+func (st *State) apply(ev scenario.Event) error {
+	g := st.g
+	switch ev.Op {
+	case scenario.OpFailLink, scenario.OpRestoreLink:
+		e1 := g.entryIndex(ev.A, ev.B)
+		e2 := g.entryIndex(ev.B, ev.A)
+		if e1 < 0 || e2 < 0 {
+			return fmt.Errorf("atlas: no link %d--%d", ev.A, ev.B)
+		}
+		down := ev.Op == scenario.OpFailLink
+		if st.down[e1] == down {
+			state := "up"
+			if down {
+				state = "down"
+			}
+			return fmt.Errorf("atlas: link %d--%d already %s", ev.A, ev.B, state)
+		}
+		st.down[e1], st.down[e2] = down, down
+	case scenario.OpFailNode:
+		if st.nodeDown[ev.Node] {
+			return fmt.Errorf("atlas: AS %d already down", ev.Node)
+		}
+		st.nodeDown[ev.Node] = true
+	case scenario.OpWithdraw:
+		if ev.Node != st.dest {
+			return fmt.Errorf("atlas: withdraw at %d but shard destination is %d (atlas scripts must be destination-independent)", ev.Node, st.dest)
+		}
+		st.withdrawn = true
+	default:
+		return fmt.Errorf("atlas: unknown op %v", ev.Op)
+	}
+	return nil
+}
+
+// engineState is the per-window contract the shared destination driver
+// runs against. The flat slab State and the map-based reference state
+// both implement it, so the two engines cannot drift semantically: only
+// the storage layout differs. Methods are window-granular — interface
+// dispatch never appears inside a convergence loop.
+type engineState interface {
+	// outcome returns state-owned scratch for the shard result, so the
+	// driver's bookkeeping pointers never force a heap allocation per
+	// destination.
+	outcome() *DestOutcome
+	reset(dest topology.ASN)
+	apply(ev scenario.Event) error
+	computeChain() bool
+	snapshotHadStart()
+	// beginWindow bumps and returns the change epoch and clears the
+	// window scratch (loss accumulators, MRAI gates, queues).
+	beginWindow(p int) int32
+	initPlane(p int)
+	cascade(p int, out *PlaneOutcome)
+	seedEventFrontier(group []scenario.Event)
+	seedRedDependents(redEpoch int32)
+	converge(p int, mrai int32, out *PlaneOutcome) (int32, error)
+	settleGroup(p int, endRound int32, out *PlaneOutcome)
+	clearLoss(p int)
+	accumulateGroupLoss(out *DestOutcome)
+	accumulateFinal(out *DestOutcome)
+}
+
+// ConvergeDest runs one destination shard: initial three-plane
+// convergence, then every event group of the script with full
+// re-convergence and loss accounting in between. The script's link and
+// node events are applied globally; its Dest field is ignored (each
+// shard is its own origin).
+func (e *Engine) ConvergeDest(st *State, dest topology.ASN, groups [][]scenario.Event) (DestOutcome, error) {
+	return convergeDest(st, e.p, dest, groups)
+}
+
+// convergeDest is the engine-independent destination driver.
+func convergeDest(st engineState, params Params, dest topology.ASN, groups [][]scenario.Event) (DestOutcome, error) {
+	st.reset(dest)
+	mrai := int32(params.MRAIRounds)
+	if mrai < 0 {
+		mrai = 0
+	}
+	out := st.outcome()
+	*out = DestOutcome{Dest: dest, Groups: len(groups)}
+	planes := [planeCount]*PlaneOutcome{&out.BGP, &out.Red, &out.Blue}
+
+	// Initial convergence: BGP, then red, then blue (blue's export rules
+	// read the red fixpoint and the lock chain).
+	st.computeChain()
+	for p := 0; p < planeCount; p++ {
+		st.beginWindow(p)
+		st.initPlane(p)
+		rounds, err := st.converge(p, mrai, planes[p])
+		if err != nil {
+			return DestOutcome{}, err
+		}
+		planes[p].InitRounds = rounds
+		// Initial propagation is not loss: clear the accounting.
+		st.clearLoss(p)
+		planes[p].Changed = 0
+	}
+
+	for _, group := range groups {
+		st.snapshotHadStart()
+		for _, ev := range group {
+			if err := st.apply(ev); err != nil {
+				return DestOutcome{}, err
+			}
+		}
+		chainChanged := st.computeChain()
+		var redEpoch int32
+		for p := 0; p < planeCount; p++ {
+			epoch := st.beginWindow(p)
+			if p == planeRed {
+				redEpoch = epoch
+			}
+			if (p == planeBlue || p == planeRed) && chainChanged {
+				// The lock chain moved: both colors' selective rules
+				// changed, so the plane re-roots from scratch — the
+				// paper's observed blue re-root cost, surfaced honestly.
+				st.initPlane(p)
+			} else {
+				st.cascade(p, planes[p])
+				st.seedEventFrontier(group)
+				if p == planeBlue {
+					// Blue's export rules read red's fixpoint ("red
+					// precedence"): wherever red changed this group, the
+					// providers of that AS must re-evaluate their blue
+					// offers even though no blue link died.
+					st.seedRedDependents(redEpoch)
+				}
+			}
+			rounds, err := st.converge(p, mrai, planes[p])
+			if err != nil {
+				return DestOutcome{}, err
+			}
+			planes[p].ReconvRounds += rounds
+			if rounds > planes[p].MaxReconvRounds {
+				planes[p].MaxReconvRounds = rounds
+			}
+			st.settleGroup(p, rounds, planes[p])
+		}
+		st.accumulateGroupLoss(out)
+	}
+	st.accumulateFinal(out)
+	return *out, nil
+}
+
+// beginWindow implements engineState.
+func (st *State) beginWindow(p int) int32 {
+	st.epoch++
+	clear(st.lostAcc[p])
+	clear(st.permMark[p])
+	clear(st.lostSince)
+	clear(st.ready)
+	st.frontLen, st.pendLen = 0, 0
+	return st.epoch
+}
+
+// snapshotHadStart implements engineState.
+func (st *State) snapshotHadStart() {
+	for p := 0; p < planeCount; p++ {
+		for a := 0; a < st.g.Len(); a++ {
+			st.hadStart[p][a] = st.curKind[p][a] != kindNone
+		}
+	}
+}
+
+// clearLoss implements engineState.
+func (st *State) clearLoss(p int) { clear(st.lostAcc[p]) }
+
+// accumulateGroupLoss implements engineState: the per-group transient
+// loss integrals. STAMP's data plane at an AS is down only while every
+// plane that serves it is down, so per AS: both colors served at group
+// start → min of the two outages (a plane that failed to re-serve
+// carries its full window outage in lostAcc via permMark); one color
+// served → that color's outage IS the STAMP outage (no fallback
+// exists); an AS STAMP no longer serves at group end is permanent
+// damage, not transient loss. Per-plane transient integrals exclude
+// permMark ASes (those rounds are already in PermLostASRounds).
+func (st *State) accumulateGroupLoss(out *DestOutcome) {
+	for a := 0; a < st.g.Len(); a++ {
+		servedEnd := st.curKind[planeRed][a] != kindNone || st.curKind[planeBlue][a] != kindNone
+		if servedEnd {
+			r, b := st.lostAcc[planeRed][a], st.lostAcc[planeBlue][a]
+			switch {
+			case st.hadStart[planeRed][a] && st.hadStart[planeBlue][a]:
+				if r < b {
+					out.StampLostASRounds += int64(r)
+				} else {
+					out.StampLostASRounds += int64(b)
+				}
+			case st.hadStart[planeRed][a]:
+				out.StampLostASRounds += int64(r)
+			case st.hadStart[planeBlue][a]:
+				out.StampLostASRounds += int64(b)
+			}
+		}
+		if !st.permMark[planeBGP][a] {
+			out.BGP.LostASRounds += int64(st.lostAcc[planeBGP][a])
+		}
+		if !st.permMark[planeRed][a] {
+			out.Red.LostASRounds += int64(st.lostAcc[planeRed][a])
+		}
+		if !st.permMark[planeBlue][a] {
+			out.Blue.LostASRounds += int64(st.lostAcc[planeBlue][a])
+		}
+	}
+}
+
+// accumulateFinal implements engineState.
+func (st *State) accumulateFinal(out *DestOutcome) {
+	for a := 0; a < st.g.Len(); a++ {
+		hasRed := st.curKind[planeRed][a] != kindNone
+		hasBlue := st.curKind[planeBlue][a] != kindNone
+		if st.curKind[planeBGP][a] == kindNone {
+			out.BGP.UnreachableFinal++
+		}
+		if !hasRed {
+			out.Red.UnreachableFinal++
+		}
+		if !hasBlue {
+			out.Blue.UnreachableFinal++
+		}
+		if !hasRed && !hasBlue {
+			out.StampUnreachableFinal++
+		}
+	}
+}
+
+// seedRedDependents queues the providers of every AS whose red route
+// changed in the red window (stamped with that window's epoch), plus
+// the AS itself, for blue re-evaluation.
+func (st *State) seedRedDependents(redEpoch int32) {
+	n := int32(st.g.Len())
+	for a := int32(0); a < n; a++ {
+		if st.changedStamp[planeRed][a] != redEpoch {
+			continue
+		}
+		st.frontAdd(a)
+		for _, p := range st.g.Providers(topology.ASN(a)) {
+			st.frontAdd(int32(p))
+		}
+	}
+}
+
+// seedEventFrontier queues the endpoints of every event's link (and the
+// neighbors of failed/withdrawn subjects) so restored capacity is
+// noticed: a restore changes no existing route, so the cascade alone
+// would never wake the endpoints.
+func (st *State) seedEventFrontier(group []scenario.Event) {
+	g := st.g
+	for _, ev := range group {
+		switch ev.Op {
+		case scenario.OpFailLink, scenario.OpRestoreLink:
+			st.frontAdd(int32(ev.A))
+			st.frontAdd(int32(ev.B))
+		case scenario.OpFailNode:
+			for e := g.off[ev.Node]; e < g.off[ev.Node+1]; e++ {
+				st.frontAdd(int32(g.nbr[e]))
+			}
+		case scenario.OpWithdraw:
+			st.frontAdd(int32(ev.Node))
+		}
+	}
+}

@@ -1,0 +1,295 @@
+// Package atlas is the internet-scale experiment subsystem: real CAIDA
+// AS-relationship snapshots ingested into an immutable compressed-
+// sparse-row (CSR) graph, a flat routing-state engine whose per-(AS,
+// destination) state lives in preallocated slabs so the hot convergence
+// loop is allocation-free, and destination-sharded intra-trial
+// parallelism over internal/runner — one trial's convergence fans out
+// across workers with an ordered fold, so results stay byte-identical
+// for any worker count.
+//
+// The classic engines (internal/sim, internal/emu) model one
+// destination at message granularity with per-AS map-based state; atlas
+// models many destinations at routing-round granularity with slab
+// state. DESIGN.md ("the atlas subsystem") states the abstraction and
+// the determinism argument; the fixpoint is pinned against
+// topology.StaticRoutes and a capped-N live-emulation fixture.
+package atlas
+
+import (
+	"fmt"
+	"sort"
+
+	"stamp/internal/topology"
+)
+
+// Graph is an immutable AS topology in compressed-sparse-row form: one
+// flat neighbor array with per-AS slices, each slice grouped providers
+// first, then peers, then customers, every group sorted ascending. A
+// degree-descending AS order is precomputed once at build time
+// (DegreeOrder) for analyses over the degree distribution; the
+// scenario-level workload pickers deliberately draw through the
+// representation-neutral scenario.Topo interface instead, so one
+// picker serves both graph types. A Graph is cheap to share read-only
+// across any number of goroutines.
+type Graph struct {
+	n       int32
+	off     []int32 // len n+1: adjacency bounds; entries of a in [off[a], off[a+1])
+	provEnd []int32 // providers of a occupy [off[a], provEnd[a])
+	peerEnd []int32 // peers of a occupy [provEnd[a], peerEnd[a])
+	nbr     []topology.ASN
+	rel     []topology.Rel // relationship of nbr[e] from the row AS's perspective
+
+	orig     []int64        // dense id -> original ASN (nil when built from a generated graph)
+	byDegree []topology.ASN // AS ids sorted by degree descending, then id ascending
+}
+
+// Len returns the number of ASes.
+func (g *Graph) Len() int { return int(g.n) }
+
+// Edges returns the number of directed adjacency entries (2× links).
+func (g *Graph) Edges() int { return len(g.nbr) }
+
+// EdgeCount returns the number of distinct links.
+func (g *Graph) EdgeCount() int { return len(g.nbr) / 2 }
+
+// Providers returns the providers of a, sorted ascending. The slice
+// aliases the CSR arrays and must not be modified.
+func (g *Graph) Providers(a topology.ASN) []topology.ASN {
+	return g.nbr[g.off[a]:g.provEnd[a]]
+}
+
+// Peers returns the peers of a, sorted ascending.
+func (g *Graph) Peers(a topology.ASN) []topology.ASN {
+	return g.nbr[g.provEnd[a]:g.peerEnd[a]]
+}
+
+// Customers returns the customers of a, sorted ascending.
+func (g *Graph) Customers(a topology.ASN) []topology.ASN {
+	return g.nbr[g.peerEnd[a]:g.off[a+1]]
+}
+
+// Neighbors appends all neighbors of a to dst and returns it.
+func (g *Graph) Neighbors(dst []topology.ASN, a topology.ASN) []topology.ASN {
+	return append(dst, g.nbr[g.off[a]:g.off[a+1]]...)
+}
+
+// Degree returns the total neighbor count of a.
+func (g *Graph) Degree(a topology.ASN) int { return int(g.off[a+1] - g.off[a]) }
+
+// IsMultihomed reports whether a has two or more providers.
+func (g *Graph) IsMultihomed(a topology.ASN) bool { return g.provEnd[a]-g.off[a] >= 2 }
+
+// IsTier1 reports whether a has no providers.
+func (g *Graph) IsTier1(a topology.ASN) bool { return g.provEnd[a] == g.off[a] }
+
+// Tier1Count returns the number of provider-free ASes.
+func (g *Graph) Tier1Count() int {
+	c := 0
+	for a := int32(0); a < g.n; a++ {
+		if g.IsTier1(topology.ASN(a)) {
+			c++
+		}
+	}
+	return c
+}
+
+// Rel returns the relationship of b from a's perspective (RelNone when
+// not adjacent), by binary search over the sorted groups.
+func (g *Graph) Rel(a, b topology.ASN) topology.Rel {
+	if e := g.entryIndex(a, b); e >= 0 {
+		return g.rel[e]
+	}
+	return topology.RelNone
+}
+
+// entryIndex returns the adjacency-entry index of neighbor b within a's
+// row, or -1 when not adjacent.
+func (g *Graph) entryIndex(a, b topology.ASN) int32 {
+	for _, span := range [3][2]int32{
+		{g.off[a], g.provEnd[a]},
+		{g.provEnd[a], g.peerEnd[a]},
+		{g.peerEnd[a], g.off[a+1]},
+	} {
+		lo, hi := span[0], span[1]
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if g.nbr[mid] < b {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < span[1] && g.nbr[lo] == b {
+			return lo
+		}
+	}
+	return -1
+}
+
+// DegreeOrder returns the ASes sorted by total degree descending (ties
+// by ascending id) — the deterministic "big transit first" order for
+// degree-distribution analyses. The slice is owned by the graph; do
+// not modify.
+func (g *Graph) DegreeOrder() []topology.ASN { return g.byDegree }
+
+// OriginalASN maps a dense internal id back to the snapshot's ASN.
+// Graphs built from generated topologies return the id itself.
+func (g *Graph) OriginalASN(a topology.ASN) int64 {
+	if g.orig == nil {
+		return int64(a)
+	}
+	return g.orig[a]
+}
+
+// builder accumulates directed relationship entries and freezes them
+// into CSR form.
+type builder struct {
+	n    int32
+	from []topology.ASN
+	to   []topology.ASN
+	rel  []topology.Rel
+	orig []int64
+}
+
+// addLink records one undirected link with b's role from a's
+// perspective (RelProvider: b is a's provider; RelPeer: peering).
+func (b *builder) addLink(a, p topology.ASN, rel topology.Rel) {
+	b.from = append(b.from, a, p)
+	b.to = append(b.to, p, a)
+	b.rel = append(b.rel, rel, rel.Invert())
+}
+
+// freeze sorts the entries into CSR layout: per-AS rows, providers
+// first, then peers, then customers, each group ascending by neighbor.
+func (b *builder) freeze() (*Graph, error) {
+	n := b.n
+	g := &Graph{
+		n:       n,
+		off:     make([]int32, n+1),
+		provEnd: make([]int32, n),
+		peerEnd: make([]int32, n),
+		nbr:     make([]topology.ASN, len(b.from)),
+		rel:     make([]topology.Rel, len(b.from)),
+		orig:    b.orig,
+	}
+	// groupRank orders a row's entries providers < peers < customers.
+	groupRank := func(r topology.Rel) int32 {
+		switch r {
+		case topology.RelProvider:
+			return 0
+		case topology.RelPeer:
+			return 1
+		default:
+			return 2
+		}
+	}
+	idx := make([]int32, len(b.from))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		i, j := idx[x], idx[y]
+		if b.from[i] != b.from[j] {
+			return b.from[i] < b.from[j]
+		}
+		if ri, rj := groupRank(b.rel[i]), groupRank(b.rel[j]); ri != rj {
+			return ri < rj
+		}
+		return b.to[i] < b.to[j]
+	})
+	counts := make([]int32, n+1)
+	for _, f := range b.from {
+		counts[f+1]++
+	}
+	for a := int32(0); a < n; a++ {
+		g.off[a+1] = g.off[a] + counts[a+1]
+	}
+	for pos, i := range idx {
+		g.nbr[pos] = b.to[i]
+		g.rel[pos] = b.rel[i]
+	}
+	// Group boundaries + duplicate detection. A neighbor appearing twice
+	// in a row — within a group or across groups — means the snapshot
+	// carries duplicate or conflicting relationship claims; fail loudly
+	// rather than silently prefer one.
+	for a := int32(0); a < n; a++ {
+		lo, hi := g.off[a], g.off[a+1]
+		g.provEnd[a], g.peerEnd[a] = lo, lo
+		for e := lo; e < hi; e++ {
+			if g.nbr[e] == topology.ASN(a) {
+				return nil, fmt.Errorf("atlas: self link at AS %d", a)
+			}
+			switch g.rel[e] {
+			case topology.RelProvider:
+				g.provEnd[a] = e + 1
+				g.peerEnd[a] = e + 1
+			case topology.RelPeer:
+				g.peerEnd[a] = e + 1
+			}
+		}
+		if dup, ok := rowDuplicate(
+			g.nbr[lo:g.provEnd[a]],
+			g.nbr[g.provEnd[a]:g.peerEnd[a]],
+			g.nbr[g.peerEnd[a]:hi],
+		); ok {
+			return nil, fmt.Errorf("atlas: duplicate or conflicting link between %d and %d", a, dup)
+		}
+	}
+	g.byDegree = make([]topology.ASN, n)
+	for a := int32(0); a < n; a++ {
+		g.byDegree[a] = topology.ASN(a)
+	}
+	sort.Slice(g.byDegree, func(i, j int) bool {
+		di, dj := g.Degree(g.byDegree[i]), g.Degree(g.byDegree[j])
+		if di != dj {
+			return di > dj
+		}
+		return g.byDegree[i] < g.byDegree[j]
+	})
+	return g, nil
+}
+
+// rowDuplicate reports a neighbor id appearing twice across the three
+// ascending-sorted relationship groups of one row.
+func rowDuplicate(groups ...[]topology.ASN) (topology.ASN, bool) {
+	prev := topology.ASN(-1)
+	first := true
+	// 3-way merge over sorted groups.
+	pos := make([]int, len(groups))
+	for {
+		best := -1
+		for i, p := range pos {
+			if p < len(groups[i]) && (best < 0 || groups[i][p] < groups[best][pos[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return 0, false
+		}
+		v := groups[best][pos[best]]
+		pos[best]++
+		if !first && v == prev {
+			return v, true
+		}
+		prev, first = v, false
+	}
+}
+
+// FromTopology converts an adjacency-list graph into CSR form, so
+// generated topologies run on the atlas engine alongside ingested
+// snapshots.
+func FromTopology(t *topology.Graph) (*Graph, error) {
+	b := &builder{n: int32(t.Len())}
+	for a := 0; a < t.Len(); a++ {
+		v := topology.ASN(a)
+		for _, p := range t.Providers(v) {
+			b.addLink(v, p, topology.RelProvider)
+		}
+		for _, p := range t.Peers(v) {
+			if v < p {
+				b.addLink(v, p, topology.RelPeer)
+			}
+		}
+	}
+	return b.freeze()
+}

@@ -1,0 +1,116 @@
+package atlas
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"stamp/internal/topology"
+)
+
+// Ingest parses a CAIDA serial-1 AS-relationship snapshot — plain text
+// or gzip, sniffed from the bytes — straight into CSR form, without
+// building the adjacency-list graph in between. Line-level parsing
+// (comments, `|` tokenization, relationship-code validation, loud
+// sibling/unknown rejection) is topology.ParseASRel, the one parser
+// every loader in the repository shares. Original ASNs are renumbered
+// densely in first-seen order; Graph.OriginalASN maps back.
+func Ingest(r io.Reader) (*Graph, error) {
+	dr, err := topology.AutoDecompress(r)
+	if err != nil {
+		return nil, err
+	}
+	b := &builder{}
+	ids := make(map[int64]topology.ASN)
+	intern := func(x int64) topology.ASN {
+		if id, ok := ids[x]; ok {
+			return id
+		}
+		id := topology.ASN(len(b.orig))
+		ids[x] = id
+		b.orig = append(b.orig, x)
+		return id
+	}
+	err = topology.ParseASRel(dr, func(a, c int64, rel int) error {
+		ia, ic := intern(a), intern(c)
+		if rel == -1 { // a is the provider of c
+			b.addLink(ic, ia, topology.RelProvider)
+		} else {
+			b.addLink(ia, ic, topology.RelPeer)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	b.n = int32(len(b.orig))
+	if b.n == 0 {
+		return nil, fmt.Errorf("atlas: snapshot holds no links")
+	}
+	g, err := b.freeze()
+	if err != nil {
+		return nil, err
+	}
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// IngestFile loads a snapshot from disk, plain or gzip.
+func IngestFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := Ingest(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// validate checks the customer-provider hierarchy is acyclic — the
+// standing assumption every engine in the repository shares; a snapshot
+// violating it (inference artifacts do exist) must be rejected, not
+// simulated. Iterative three-color DFS over provider edges.
+func (g *Graph) validate() error {
+	const (
+		white = int8(0)
+		gray  = int8(1)
+		black = int8(2)
+	)
+	state := make([]int8, g.n)
+	type frame struct {
+		node topology.ASN
+		next int32
+	}
+	var stack []frame
+	for start := int32(0); start < g.n; start++ {
+		if state[start] != white {
+			continue
+		}
+		stack = append(stack[:0], frame{node: topology.ASN(start)})
+		state[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			provs := g.Providers(f.node)
+			if int(f.next) < len(provs) {
+				p := provs[f.next]
+				f.next++
+				switch state[p] {
+				case white:
+					state[p] = gray
+					stack = append(stack, frame{node: p})
+				case gray:
+					return fmt.Errorf("atlas: customer-provider cycle through AS %d (original %d)", p, g.OriginalASN(p))
+				}
+				continue
+			}
+			state[f.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package atlas
+
+import (
+	"bytes"
+	"compress/gzip"
+	"strings"
+	"testing"
+
+	"stamp/internal/topology"
+)
+
+// caidaFixture is a small real-format serial-1 snapshot: comment
+// header, sparse original ASNs, provider and peer lines, and a
+// serial-2-style trailing field that must be ignored.
+const caidaFixture = `# inferred AS relationships
+# source: serial-1 fixture
+174|3356|0
+174|64512|-1
+3356|64512|-1
+3356|65001|-1
+64512|65002|-1|bgp
+65001|65002|-1
+`
+
+// TestIngestFixture: the real-format fixture parses into the expected
+// CSR structure with dense renumbering and original-ASN recovery.
+func TestIngestFixture(t *testing.T) {
+	g, err := Ingest(strings.NewReader(caidaFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 5 {
+		t.Fatalf("ASes = %d, want 5", g.Len())
+	}
+	if g.EdgeCount() != 6 {
+		t.Fatalf("links = %d, want 6", g.EdgeCount())
+	}
+	// First-seen order: 174, 3356, 64512, 65001, 65002.
+	wantOrig := []int64{174, 3356, 64512, 65001, 65002}
+	for i, want := range wantOrig {
+		if got := g.OriginalASN(topology.ASN(i)); got != want {
+			t.Fatalf("OriginalASN(%d) = %d, want %d", i, got, want)
+		}
+	}
+	// 174 and 3356 peer; both are providers of 64512.
+	if got := g.Rel(0, 1); got != topology.RelPeer {
+		t.Fatalf("Rel(174,3356) = %v, want peer", got)
+	}
+	if got := g.Rel(2, 0); got != topology.RelProvider {
+		t.Fatalf("Rel(64512,174) = %v, want provider", got)
+	}
+	if !g.IsMultihomed(2) {
+		t.Fatal("64512 should be multihomed (174 + 3356)")
+	}
+	if !g.IsTier1(0) || !g.IsTier1(1) {
+		t.Fatal("174 and 3356 should be provider-free")
+	}
+	// 65002 is multihomed under 64512 and 65001.
+	if !g.IsMultihomed(4) {
+		t.Fatal("65002 should be multihomed")
+	}
+}
+
+// TestIngestGzip: the same bytes gzip-compressed ingest identically —
+// format is sniffed, not extension-guessed.
+func TestIngestGzip(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(caidaFixture)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Ingest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Ingest(strings.NewReader(caidaFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != plain.Len() || g.EdgeCount() != plain.EdgeCount() {
+		t.Fatalf("gzip ingest differs: %d/%d vs %d/%d", g.Len(), g.EdgeCount(), plain.Len(), plain.EdgeCount())
+	}
+}
+
+// TestIngestRoundTripGenerated: WriteASRel → Ingest reproduces a
+// generated topology exactly (via the CSR conversion as reference).
+func TestIngestRoundTripGenerated(t *testing.T) {
+	tg, err := topology.GenerateDefault(300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := topology.WriteASRel(&buf, tg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Ingest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := FromTopology(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() || got.EdgeCount() != want.EdgeCount() {
+		t.Fatalf("size mismatch: %d/%d vs %d/%d", got.Len(), got.EdgeCount(), want.Len(), want.EdgeCount())
+	}
+	// WriteASRel emits graph-internal ASNs, and Ingest renumbers in
+	// first-seen order; relationships must agree under that mapping.
+	for a := 0; a < want.Len(); a++ {
+		v := topology.ASN(a)
+		ga := topology.ASN(int32(got.origIndex(int64(a))))
+		for _, p := range want.Providers(v) {
+			gp := topology.ASN(int32(got.origIndex(int64(p))))
+			if got.Rel(ga, gp) != topology.RelProvider {
+				t.Fatalf("AS %d provider %d lost in round trip", a, p)
+			}
+		}
+		for _, p := range want.Peers(v) {
+			gp := topology.ASN(int32(got.origIndex(int64(p))))
+			if got.Rel(ga, gp) != topology.RelPeer {
+				t.Fatalf("AS %d peer %d lost in round trip", a, p)
+			}
+		}
+	}
+}
+
+// origIndex finds the dense id of an original ASN (test helper, linear).
+func (g *Graph) origIndex(orig int64) int32 {
+	for i, o := range g.orig {
+		if o == orig {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
+// TestIngestErrors: malformed snapshots fail loudly with the offending
+// line, never silently drop links.
+func TestIngestErrors(t *testing.T) {
+	cases := []struct {
+		name, input, wantErr string
+	}{
+		{"sibling code", "1|2|2\n", "sibling"},
+		{"p2c spelling", "1|2|1\n", "sibling"},
+		{"unknown code", "1|2|7\n", "unknown relationship"},
+		{"short line", "1|2\n", "want a|b|rel"},
+		{"bad asn", "x|2|-1\n", "bad ASN"},
+		{"bad rel", "1|2|zz\n", "bad relationship"},
+		{"empty", "# only comments\n", "no links"},
+		{"provider cycle", "1|2|-1\n2|3|-1\n3|1|-1\n", "cycle"},
+		{"duplicate link", "1|2|-1\n1|2|0\n", "duplicate"},
+		{"self link", "1|1|-1\n", "self link"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Ingest(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("no error for %q", tc.input)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestIngestTruncatedGzip: a corrupt gzip stream is an error, not an
+// empty graph.
+func TestIngestTruncatedGzip(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(caidaFixture)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Ingest(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated gzip ingested without error")
+	}
+}

@@ -72,6 +72,8 @@ func Main(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		return e.cmdLab(rest)
 	case "flood":
 		return e.cmdFlood(rest)
+	case "atlas":
+		return e.cmdAtlas(rest)
 	case "topo":
 		return e.cmdTopo(rest)
 	case "asrel":
@@ -97,7 +99,10 @@ subcommands:
                     (sugar for: run emu-converge -backend emu)
   flood             packet-level loss workload driver
                     (sugar for: run loss)
-  topo              generate a synthetic AS topology (CAIDA AS-rel format)
+  atlas             internet-scale convergence on the flat CSR engine
+                    (sugar for: run atlas-converge; -loss for atlas-loss)
+  topo              generate a synthetic AS topology (CAIDA AS-rel format),
+                    or print -stats for any graph (-in loads a snapshot)
   asrel             infer AS relationships from AS paths (Gao's algorithm)
   daemon            run one live STAMP routing process (one color) over TCP
   help              this text

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 
@@ -42,6 +43,10 @@ func TestExitCodes(t *testing.T) {
 		{"loss emu rejects non-stamp protocol", []string{"flood", "-backend", "emu", "-n", "40", "-protocol", "bgp"}, ExitFailure},
 		{"list", []string{"list"}, ExitOK},
 		{"run ok", []string{"run", "partial", "-n", "60"}, ExitOK},
+		{"atlas bad scenario", []string{"atlas", "-n", "100", "-scenario", "meteor-strike"}, ExitFailure},
+		{"atlas rejects prefix-withdraw", []string{"atlas", "-n", "100", "-scenario", "prefix-withdraw"}, ExitFailure},
+		{"atlas -h is success", []string{"atlas", "-h"}, ExitOK},
+		{"topo stats with snapshot flags", []string{"topo", "-in", "/no/such/file", "-tier1", "9"}, ExitUsage},
 		{"flood bad backend", []string{"flood", "-backend", "quantum", "-n", "50"}, ExitFailure},
 		{"topo ok", []string{"topo", "-n", "30"}, ExitOK},
 	}
@@ -117,33 +122,88 @@ func TestListCoversRegistry(t *testing.T) {
 	}
 }
 
-// TestLegacyShims: the deprecated binaries' entry points still work and
-// point at their replacements.
-func TestLegacyShims(t *testing.T) {
+// TestAtlasCLI: `stamp atlas` runs the flat-engine experiment end to
+// end, and `stamp topo -stats -in` summarizes an ingested snapshot —
+// the zero-to-atlas operator path.
+func TestAtlasCLI(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation")
 	}
-	var out, errw bytes.Buffer
-	if code := LegacySim(context.Background(), []string{"-exp", "partial", "-n", "60", "-json"}, &out, &errw); code != ExitOK {
-		t.Fatalf("LegacySim exit %d (stderr: %s)", code, errw.String())
+	dir := t.TempDir()
+	snapshot := dir + "/topo.asrel"
+	if code, _, stderr := run(t, "topo", "-n", "150", "-seed", "2", "-o", snapshot); code != ExitOK {
+		t.Fatalf("topo exit %d (stderr: %s)", code, stderr)
 	}
-	if !strings.Contains(errw.String(), "deprecated") {
-		t.Errorf("no deprecation notice: %s", errw.String())
+	code, _, stderr := run(t, "topo", "-in", snapshot, "-stats")
+	if code != ExitOK {
+		t.Fatalf("topo -stats exit %d (stderr: %s)", code, stderr)
 	}
-	var results []json.RawMessage
-	if err := json.Unmarshal(out.Bytes(), &results); err != nil || len(results) != 1 {
-		t.Errorf("legacy JSON is not a one-element array: %v (%.200s)", err, out.String())
+	for _, want := range []string{"degree", "tier-1", "customer-provider"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("topo -stats output missing %q:\n%s", want, stderr)
+		}
 	}
-	out.Reset()
-	errw.Reset()
-	if code := LegacyTopogen(context.Background(), []string{"-n", "30"}, &out, &errw); code != ExitOK {
-		t.Fatalf("LegacyTopogen exit %d", code)
+	code, stdout, stderr := run(t, "atlas", "-topo", snapshot, "-dests", "4", "-seed", "3", "-json")
+	if code != ExitOK {
+		t.Fatalf("atlas exit %d (stderr: %s)", code, stderr)
 	}
-	// Old stampsim spellings for the ablations map onto the registry's
-	// slash names.
-	out.Reset()
-	errw.Reset()
-	if code := LegacySim(context.Background(), []string{"-exp", "ablation-lock", "-n", "60"}, &out, &errw); code != ExitOK {
-		t.Fatalf("LegacySim ablation-lock exit %d (stderr: %s)", code, errw.String())
+	var env struct {
+		Experiment string `json:"experiment"`
+		Topology   struct {
+			Loaded bool `json:"loaded"`
+		} `json:"topology"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Experiment != "atlas-converge" || !env.Topology.Loaded {
+		t.Errorf("envelope = %+v, want atlas-converge on a loaded snapshot", env)
+	}
+	if code, _, stderr := run(t, "atlas", "-loss", "-topo", snapshot, "-dests", "2", "-seed", "3"); code != ExitOK {
+		t.Fatalf("atlas -loss exit %d (stderr: %s)", code, stderr)
+	}
+}
+
+// TestTopoReemitKeepsOriginalASNs: round-tripping a snapshot through
+// `stamp topo -in ... -o ...` must keep the snapshot's ASNs, not
+// replace them with the loader's dense renumbering.
+func TestTopoReemitKeepsOriginalASNs(t *testing.T) {
+	dir := t.TempDir()
+	src := dir + "/real.asrel"
+	if err := os.WriteFile(src, []byte("174|3356|0\n174|64512|-1\n3356|64512|-1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := dir + "/copy.asrel"
+	if code, _, stderr := run(t, "topo", "-in", src, "-o", out); code != ExitOK {
+		t.Fatalf("topo -in -o exit %d (stderr: %s)", code, stderr)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, asn := range []string{"174", "3356", "64512"} {
+		if !strings.Contains(string(raw), asn) {
+			t.Errorf("re-emitted snapshot lost original ASN %s:\n%s", asn, raw)
+		}
+	}
+}
+
+// TestAtlasJSONByteIdenticalAcrossWorkers: the acceptance criterion at
+// the CLI layer for the destination-sharded subsystem.
+func TestAtlasJSONByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	var snaps []string
+	for _, workers := range []string{"1", "4"} {
+		code, stdout, stderr := run(t, "run", "atlas-converge",
+			"-n", "200", "-dests", "6", "-seed", "5", "-scenario", "flap-storm", "-workers", workers, "-json")
+		if code != ExitOK {
+			t.Fatalf("workers=%s: exit %d (stderr: %s)", workers, code, stderr)
+		}
+		snaps = append(snaps, stdout)
+	}
+	if snaps[0] != snaps[1] {
+		t.Errorf("stamp run atlas-converge -json differs between -workers 1 and 4:\n%.300s\n%.300s", snaps[0], snaps[1])
 	}
 }

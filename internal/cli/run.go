@@ -27,6 +27,7 @@ type requestFlags struct {
 	tick      *time.Duration
 	ticks     *int
 	workers   *int
+	dests     *int
 	topoSeeds *string
 	jsonOut   *bool
 	progress  *bool
@@ -46,6 +47,7 @@ func addRequestFlags(fs *flag.FlagSet) *requestFlags {
 		tick:      fs.Duration("tick", 0, "traffic sampling interval (0 = backend default)"),
 		ticks:     fs.Int("ticks", 0, "traffic samples per run (0 = backend default)"),
 		workers:   fs.Int("workers", 0, "worker pool size (0 = one per CPU)"),
+		dests:     fs.Int("dests", 0, "destination shards for atlas experiments (0 = default)"),
 		topoSeeds: fs.String("topo-seeds", "1,2,3", "comma-separated topology seeds (sweep experiment)"),
 		jsonOut:   fs.Bool("json", false, "emit the result envelope as JSON on stdout"),
 		progress:  fs.Bool("progress", false, "report shard progress on stderr"),
@@ -75,6 +77,7 @@ func (f *requestFlags) request(e env, experiment string) (lab.Request, error) {
 		Tick:       *f.tick,
 		Ticks:      *f.ticks,
 		Workers:    *f.workers,
+		Dests:      *f.dests,
 		TopoSeeds:  seeds,
 		Progress:   e.progressFn(*f.progress),
 		Context:    e.ctx,
@@ -176,6 +179,33 @@ func (e env) cmdFlood(args []string) int {
 	req, err := f.request(e, "loss")
 	if err != nil {
 		fmt.Fprintln(e.stderr, "stamp flood:", err)
+		return ExitUsage
+	}
+	res, err := lab.Run(req)
+	if err != nil {
+		return e.fail(err)
+	}
+	return e.emit(res, *f.jsonOut)
+}
+
+// cmdAtlas is `stamp atlas` — the internet-scale flat-engine run,
+// sugar for `stamp run atlas-converge` (or atlas-loss with -loss):
+// ingest a CAIDA snapshot (or generate), converge every destination
+// shard, report rounds/churn/loss.
+func (e env) cmdAtlas(args []string) int {
+	fs := e.flagSet("stamp atlas")
+	f := addRequestFlags(fs)
+	loss := fs.Bool("loss", false, "reduce to the BGP-vs-STAMP transient-loss comparison (atlas-loss)")
+	if code, done := parse(fs, args); done {
+		return code
+	}
+	name := "atlas-converge"
+	if *loss {
+		name = "atlas-loss"
+	}
+	req, err := f.request(e, name)
+	if err != nil {
+		fmt.Fprintln(e.stderr, "stamp atlas:", err)
 		return ExitUsage
 	}
 	res, err := lab.Run(req)

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -8,61 +9,96 @@ import (
 )
 
 // cmdTopo is `stamp topo`: generate a synthetic Internet-like AS
-// topology and write it in CAIDA AS-relationship format.
+// topology and write it in CAIDA AS-relationship format — or, with
+// -in, load any snapshot (plain or gzip) instead of generating. -stats
+// prints the structural summary (degree distribution, tier sizes,
+// link-class counts), the sanity check an atlas input deserves before
+// an experiment is spent on it; with -in and no -o, only the stats are
+// printed.
 func (e env) cmdTopo(args []string) int {
 	fs := e.flagSet("stamp topo")
 	var (
-		n        = fs.Int("n", 1000, "number of ASes")
-		seed     = fs.Int64("seed", 1, "generator seed")
-		out      = fs.String("o", "", "output file (default stdout)")
-		tier1    = fs.Int("tier1", 0, "tier-1 count (0 = auto)")
-		multi    = fs.Float64("multihome", 0, "multihoming probability (0 = default)")
-		validate = fs.Bool("stats", false, "print topology statistics to stderr")
+		n     = fs.Int("n", 1000, "number of ASes when generating")
+		seed  = fs.Int64("seed", 1, "generator seed")
+		in    = fs.String("in", "", "load this AS-rel snapshot (plain or gzip) instead of generating")
+		out   = fs.String("o", "", "output file (default stdout when generating, none with -in)")
+		tier1 = fs.Int("tier1", 0, "tier-1 count (0 = auto)")
+		multi = fs.Float64("multihome", 0, "multihoming probability (0 = default)")
+		stats = fs.Bool("stats", false, "print degree distribution, tier sizes, and link-class counts to stderr")
 	)
 	if code, done := parse(fs, args); done {
 		return code
 	}
 
-	p := topology.DefaultGenParams(*n, *seed)
-	if *tier1 > 0 {
-		p.Tier1 = *tier1
-	}
-	if *multi > 0 {
-		p.MultihomeProb = *multi
-	}
-	g, err := topology.Generate(p)
-	if err != nil {
-		return e.fail(err)
-	}
-
-	w := e.stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	var g *topology.Graph
+	// orig maps internal ASNs back to the snapshot's originals when a
+	// file was loaded, so re-emitting keeps real-world ASNs.
+	orig := func(a topology.ASN) int64 { return int64(a) }
+	if *in != "" {
+		// Every generator-shaping flag is meaningless on a loaded
+		// snapshot; silently ignoring an explicit one would let the
+		// operator believe they reshaped the graph.
+		badFlag := ""
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "n", "seed", "tier1", "multihome":
+				badFlag = "-" + f.Name
+			}
+		})
+		if badFlag != "" {
+			fmt.Fprintf(e.stderr, "stamp topo: %s shapes the generator and cannot apply to a loaded snapshot (-in)\n", badFlag)
+			return ExitUsage
+		}
+		if *out == "" {
+			// Loading with nothing to do would be a silent no-op; the
+			// useful default for an input snapshot is its summary.
+			*stats = true
+		}
+		var err error
+		var ids map[int64]topology.ASN
+		g, ids, err = topology.OpenASRel(*in)
 		if err != nil {
 			return e.fail(err)
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := topology.WriteASRel(w, g); err != nil {
-		return e.fail(err)
+		rev := make([]int64, g.Len())
+		for o, id := range ids {
+			rev[id] = o
+		}
+		orig = func(a topology.ASN) int64 { return rev[a] }
+	} else {
+		p := topology.DefaultGenParams(*n, *seed)
+		if *tier1 > 0 {
+			p.Tier1 = *tier1
+		}
+		if *multi > 0 {
+			p.MultihomeProb = *multi
+		}
+		var err error
+		g, err = topology.Generate(p)
+		if err != nil {
+			return e.fail(err)
+		}
 	}
 
-	if *validate {
-		tiers := g.Tiers()
-		maxTier := 0
-		multihomed := 0
-		for a := 0; a < g.Len(); a++ {
-			if tiers[a] > maxTier {
-				maxTier = tiers[a]
+	// Loaded graphs are only re-emitted when asked; generated ones keep
+	// the historical write-to-stdout default.
+	if *in == "" || *out != "" {
+		w := e.stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return e.fail(err)
 			}
-			if g.IsMultihomed(topology.ASN(a)) {
-				multihomed++
-			}
+			defer f.Close()
+			w = f
 		}
-		fmt.Fprintf(e.stderr, "ASes: %d, links: %d, tier-1s: %d, max tier: %d, multihomed: %.1f%%\n",
-			g.Len(), g.EdgeCount(), len(g.Tier1s()), maxTier,
-			100*float64(multihomed)/float64(g.Len()))
+		if err := topology.WriteASRelMapped(w, g, orig); err != nil {
+			return e.fail(err)
+		}
+	}
+
+	if *stats {
+		topology.ComputeStats(g).Print(e.stderr)
 	}
 	return ExitOK
 }

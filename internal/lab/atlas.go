@@ -1,0 +1,122 @@
+package lab
+
+import (
+	"fmt"
+	"io"
+
+	"stamp/internal/atlas"
+	"stamp/internal/scenario"
+)
+
+// The atlas experiments: internet-scale runs on the CSR graph + flat
+// slab engine, destination-sharded across the worker pool. They accept
+// the same -topo/-n/-seed/-scenario/-workers surface as every other
+// experiment plus -dests, and ingest CAIDA snapshots (plain or gzip)
+// directly into CSR form without building the adjacency-list graph.
+func init() {
+	Register(Experiment{
+		Name: "atlas-converge", Desc: "internet-scale convergence on the flat CSR engine: per-destination rounds, churn, and loss under a scripted workload",
+		DefaultN:        10000,
+		DefaultScenario: "flap-storm",
+		Run:             func(req Request) (*Result, error) { return runAtlas(req, false) },
+	})
+	Register(Experiment{
+		Name: "atlas-loss", Desc: "internet-scale BGP-vs-STAMP transient-loss comparison on the flat CSR engine",
+		DefaultN:        10000,
+		DefaultScenario: "flap-storm",
+		Run:             func(req Request) (*Result, error) { return runAtlas(req, true) },
+	})
+}
+
+// atlasGraph builds the CSR topology: ingested straight from a
+// snapshot when a path is given, converted from the generated graph
+// otherwise.
+func (r Request) atlasGraph() (*atlas.Graph, error) {
+	if r.Topo.Path != "" {
+		return atlas.IngestFile(r.Topo.Path)
+	}
+	g, err := r.graph()
+	if err != nil {
+		return nil, err
+	}
+	return atlas.FromTopology(g)
+}
+
+// AtlasLoss is the atlas-loss payload: the per-protocol transient loss
+// integrals, reduced from the full atlas report.
+type AtlasLoss struct {
+	Scenario string `json:"scenario"`
+	Dests    int    `json:"dests"`
+	// Lost AS-rounds during re-convergence, summed over destinations.
+	BGPLost   int64 `json:"bgp_lost_as_rounds"`
+	RedLost   int64 `json:"red_lost_as_rounds"`
+	BlueLost  int64 `json:"blue_lost_as_rounds"`
+	StampLost int64 `json:"stamp_lost_as_rounds"`
+	// Ratio is STAMP/BGP transient loss (0 when BGP lost nothing).
+	Ratio float64 `json:"ratio"`
+	// Final unreachability after the script completes.
+	BGPUnreachable   int64 `json:"bgp_unreachable_final"`
+	StampUnreachable int64 `json:"stamp_unreachable_final"`
+}
+
+// Print renders the loss comparison.
+func (l *AtlasLoss) Print(w io.Writer) {
+	fmt.Fprintf(w, "scenario %s over %d destination shards\n", l.Scenario, l.Dests)
+	fmt.Fprintf(w, "  BGP   lost %8d AS-rounds (%d ASes unreachable at end)\n", l.BGPLost, l.BGPUnreachable)
+	fmt.Fprintf(w, "  STAMP lost %8d AS-rounds (%d ASes unreachable at end; red %d, blue %d)\n",
+		l.StampLost, l.StampUnreachable, l.RedLost, l.BlueLost)
+	if l.BGPLost > 0 {
+		fmt.Fprintf(w, "  STAMP/BGP transient-loss ratio: %.3f\n", l.Ratio)
+	}
+}
+
+// runAtlas executes one atlas run; loss=true reduces the report to the
+// protocol comparison.
+func runAtlas(req Request, loss bool) (*Result, error) {
+	kind, err := scenario.ParseKind(req.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	g, err := req.atlasGraph()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := atlas.Run(atlas.Options{
+		Graph: g, Scenario: kind, Dests: req.Dests, Seed: req.Seed,
+		Workers: req.Workers, Progress: req.Progress, Context: req.ctx(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	var data any = rep
+	if loss {
+		l := &AtlasLoss{
+			Scenario: rep.Scenario, Dests: rep.Dests,
+			BGPLost: rep.BGP.LostASRounds, RedLost: rep.Red.LostASRounds,
+			BlueLost: rep.Blue.LostASRounds, StampLost: rep.StampLostASRounds,
+			BGPUnreachable: rep.BGP.UnreachableFinal, StampUnreachable: rep.StampUnreachableFinal,
+		}
+		if l.BGPLost > 0 {
+			l.Ratio = float64(l.StampLost) / float64(l.BGPLost)
+		}
+		data = l
+	}
+	res := &Result{
+		SchemaVersion: SchemaVersion,
+		Experiment:    req.Experiment,
+		Backend:       "sim",
+		Scenario:      req.Scenario,
+		Seed:          req.Seed,
+		Topology: TopoInfo{
+			ASes:   g.Len(),
+			Links:  g.EdgeCount(),
+			Tier1s: g.Tier1Count(),
+			Loaded: req.Topo.Path != "",
+		},
+		Data: data,
+	}
+	// Destinations are the sampling dimension; the trials knob does not
+	// apply.
+	res.Trials = 0
+	return res, nil
+}

@@ -19,7 +19,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"os"
 	"sync"
 	"time"
 
@@ -79,6 +78,9 @@ type Request struct {
 	// Workers sizes the trial worker pool, and the emu boot pool
 	// (<= 0: one per CPU / backend default).
 	Workers int
+	// Dests is the destination-shard count for atlas experiments
+	// (<= 0: atlas.DefaultDests).
+	Dests int
 	// TopoSeeds are the sweep experiment's topology generator seeds
 	// (nil: {1, 2, 3}).
 	TopoSeeds []int64
@@ -148,12 +150,8 @@ func (r Request) graph() (*topology.Graph, error) {
 
 func (r Request) buildGraph() (*topology.Graph, error) {
 	if r.Topo.Path != "" {
-		f, err := os.Open(r.Topo.Path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		g, _, err := topology.ReadASRel(f)
+		// OpenASRel sniffs gzip, so CAIDA's .txt.gz snapshots load as-is.
+		g, _, err := topology.OpenASRel(r.Topo.Path)
 		return g, err
 	}
 	return topology.GenerateDefault(r.Topo.N, r.Topo.Seed)

@@ -39,6 +39,8 @@ func schemaRequests() map[string]Request {
 		"loss_emu":            {Experiment: "loss", Backend: "emu", Topo: TopoSpec{N: 40}, Ticks: 30},
 		"emu-converge_emu":    {Experiment: "emu-converge", Backend: "emu", Topo: TopoSpec{N: 40}},
 		"emu-converge_sim":    {Experiment: "emu-converge", Backend: "sim", Topo: TopoSpec{N: 40}},
+		"atlas-converge":      {Experiment: "atlas-converge", Topo: TopoSpec{N: 200}, Dests: 4},
+		"atlas-loss":          {Experiment: "atlas-loss", Topo: TopoSpec{N: 200}, Dests: 4},
 	}
 	return reqs
 }

@@ -16,6 +16,29 @@ import (
 	"stamp/internal/topology"
 )
 
+// Topo is the topology view the workload pickers need. Both the
+// adjacency-list *topology.Graph and the flat CSR *atlas.Graph satisfy
+// it, so every workload kind — flap-storm included — is pickable on
+// either representation through one implementation. Note that pickers
+// draw neighbors by index, and the two representations order adjacency
+// differently (insertion order vs sorted CSR groups): the same Kind +
+// seed yields the same workload *distribution* on both, and the same
+// instance only when the adjacency orders coincide (e.g. a graph and
+// its own CSR conversion do not qualify; one Topo value reused across
+// harnesses does).
+type Topo interface {
+	// Len is the number of ASes.
+	Len() int
+	// Providers lists the providers of a (read-only).
+	Providers(a topology.ASN) []topology.ASN
+	// Neighbors appends all neighbors of a to dst and returns it.
+	Neighbors(dst []topology.ASN, a topology.ASN) []topology.ASN
+	// Degree is the total neighbor count of a.
+	Degree(a topology.ASN) int
+	// IsMultihomed reports whether a has two or more providers.
+	IsMultihomed(a topology.ASN) bool
+}
+
 // Kind selects the failure workload of §6.2.
 type Kind int
 
@@ -42,6 +65,13 @@ const (
 	// PrefixWithdraw has the origin withdraw its prefix: no topology
 	// damage, pure control-plane retraction racing the data plane.
 	PrefixWithdraw
+	// FlapStorm fails many links at once and restores them together,
+	// for FlapCycles rounds — correlated churn, the regime a real
+	// maintenance window or a flapping backbone produces. The flapped
+	// links are drawn from the degree distribution (endpoints sampled
+	// proportionally to degree), so storms concentrate where real
+	// instability does: on the big transit ASes.
+	FlapStorm
 )
 
 // String names the kind as in the paper's figures.
@@ -59,6 +89,8 @@ func (k Kind) String() string {
 		return "link flap (repeated fail/restore)"
 	case PrefixWithdraw:
 		return "prefix withdraw"
+	case FlapStorm:
+		return "flap storm (many concurrent link flaps)"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -81,8 +113,10 @@ func ParseKind(s string) (Kind, error) {
 		return LinkFlap, nil
 	case "prefix-withdraw":
 		return PrefixWithdraw, nil
+	case "flap-storm":
+		return FlapStorm, nil
 	}
-	return 0, fmt.Errorf("unknown scenario %q (want single-link, two-links-apart, two-links-shared, node-failure, link-flap, or prefix-withdraw)", s)
+	return 0, fmt.Errorf("unknown scenario %q (want single-link, two-links-apart, two-links-shared, node-failure, link-flap, prefix-withdraw, or flap-storm)", s)
 }
 
 // Set is one instantiated workload: the destination plus the links to
@@ -95,7 +129,7 @@ type Set struct {
 
 // Multihomed enumerates candidate destination ASes once per run so trial
 // shards don't rescan the topology.
-func Multihomed(g *topology.Graph) []topology.ASN {
+func Multihomed(g Topo) []topology.ASN {
 	var out []topology.ASN
 	for a := 0; a < g.Len(); a++ {
 		if g.IsMultihomed(topology.ASN(a)) {
@@ -108,7 +142,7 @@ func Multihomed(g *topology.Graph) []topology.ASN {
 // Pick draws a destination and failure set for the kind. multihomed is
 // the candidate destination list (Multihomed(g)); the same rng sequence
 // always yields the same workload.
-func Pick(g *topology.Graph, multihomed []topology.ASN, k Kind, rng *rand.Rand) (Set, error) {
+func Pick(g Topo, multihomed []topology.ASN, k Kind, rng *rand.Rand) (Set, error) {
 	if len(multihomed) == 0 {
 		return Set{}, fmt.Errorf("scenario: topology has no multi-homed AS")
 	}
@@ -120,6 +154,13 @@ func Pick(g *topology.Graph, multihomed []topology.ASN, k Kind, rng *rand.Rand) 
 			// provider draw below is skipped so the RNG stream matches the
 			// historical scenario.Named derivation.
 			return Set{Dest: dest, Node: -1}, nil
+		}
+		if k == FlapStorm {
+			links, err := pickStormLinks(g, rng)
+			if err != nil {
+				return Set{}, err
+			}
+			return Set{Dest: dest, Links: links, Node: -1}, nil
 		}
 		provs := g.Providers(dest)
 		p := provs[rng.Intn(len(provs))]
@@ -156,7 +197,7 @@ func Pick(g *topology.Graph, multihomed []topology.ASN, k Kind, rng *rand.Rand) 
 // the destination and returns a customer-provider link at least one hop
 // away whose endpoints avoid both the destination and its failed provider
 // p (the "not connected to the same AS" condition of Figure 3(a)).
-func pickIndirectProviderLink(g *topology.Graph, dest, p topology.ASN, rng *rand.Rand) ([2]topology.ASN, bool) {
+func pickIndirectProviderLink(g Topo, dest, p topology.ASN, rng *rand.Rand) ([2]topology.ASN, bool) {
 	for attempt := 0; attempt < 50; attempt++ {
 		provs := g.Providers(dest)
 		v := provs[rng.Intn(len(provs))]
@@ -193,4 +234,66 @@ func pickIndirectProviderLink(g *topology.Graph, dest, p topology.ASN, rng *rand
 		return [2]topology.ASN{v, w}, true
 	}
 	return [2]topology.ASN{}, false
+}
+
+// StormSize is the number of distinct links a flap-storm flaps on an
+// n-AS topology: it scales with the graph so storms stay "many
+// concurrent flaps" at every size without drowning small test graphs.
+func StormSize(n int) int {
+	k := n / 250
+	if k < 4 {
+		k = 4
+	}
+	if k > 64 {
+		k = 64
+	}
+	return k
+}
+
+// pickStormLinks draws StormSize distinct links from the degree
+// distribution: an endpoint AS is sampled with probability proportional
+// to its degree, then one of its incident links uniformly — so
+// high-degree transit ASes attract flaps the way they attract real
+// instability. Links are deduplicated under endpoint normalization.
+func pickStormLinks(g Topo, rng *rand.Rand) ([][2]topology.ASN, error) {
+	n := g.Len()
+	total := 0
+	for a := 0; a < n; a++ {
+		total += g.Degree(topology.ASN(a))
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("scenario: topology has no links to flap")
+	}
+	want := StormSize(n)
+	seen := make(map[[2]topology.ASN]bool, want)
+	links := make([][2]topology.ASN, 0, want)
+	var nbrs []topology.ASN
+	const maxTries = 10000
+	for try := 0; len(links) < want && try < maxTries; try++ {
+		// Degree-proportional endpoint draw via the cumulative degree sum.
+		x := rng.Intn(total)
+		a := topology.ASN(-1)
+		for v := 0; v < n; v++ {
+			x -= g.Degree(topology.ASN(v))
+			if x < 0 {
+				a = topology.ASN(v)
+				break
+			}
+		}
+		nbrs = g.Neighbors(nbrs[:0], a)
+		b := nbrs[rng.Intn(len(nbrs))]
+		key := [2]topology.ASN{a, b}
+		if b < a {
+			key = [2]topology.ASN{b, a}
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		links = append(links, key)
+	}
+	if len(links) == 0 {
+		return nil, fmt.Errorf("scenario: could not draw storm links")
+	}
+	return links, nil
 }

@@ -138,3 +138,88 @@ func TestApplyDispatch(t *testing.T) {
 		}
 	}
 }
+
+// TestFlapStormPick: the storm picker draws StormSize distinct real
+// links deterministically; the same seed yields the same storm.
+func TestFlapStormPick(t *testing.T) {
+	g := testGraph(t)
+	multihomed := Multihomed(g)
+	want := StormSize(g.Len())
+	var first Set
+	for trial := 0; trial < 2; trial++ {
+		s, err := Pick(g, multihomed, FlapStorm, rand.New(rand.NewSource(99)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Links) != want {
+			t.Fatalf("storm has %d links, want %d", len(s.Links), want)
+		}
+		seen := map[[2]topology.ASN]bool{}
+		for _, l := range s.Links {
+			if g.Rel(l[0], l[1]) == topology.RelNone {
+				t.Fatalf("storm link %v does not exist", l)
+			}
+			if seen[l] {
+				t.Fatalf("duplicate storm link %v", l)
+			}
+			seen[l] = true
+		}
+		if trial == 0 {
+			first = s
+		} else if first.Dest != s.Dest || len(first.Links) != len(s.Links) {
+			t.Fatal("storm pick is not deterministic")
+		} else {
+			for i := range s.Links {
+				if first.Links[i] != s.Links[i] {
+					t.Fatalf("storm link %d differs across identical seeds", i)
+				}
+			}
+		}
+	}
+}
+
+// TestStormScriptLayout: FlapCycles correlated rounds — every link
+// fails at the cycle start and restores FlapRestoreAfter later.
+func TestStormScriptLayout(t *testing.T) {
+	g := testGraph(t)
+	s, err := Pick(g, Multihomed(g), FlapStorm, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := ScriptFor(FlapStorm, s)
+	if len(sc.Events) != 2*FlapCycles*len(s.Links) {
+		t.Fatalf("storm script has %d events, want %d", len(sc.Events), 2*FlapCycles*len(s.Links))
+	}
+	// Fail/restore balance per link, and restores trail fails by
+	// FlapRestoreAfter.
+	balance := map[[2]topology.ASN]int{}
+	for _, ev := range sc.Sorted() {
+		key := [2]topology.ASN{ev.A, ev.B}
+		switch ev.Op {
+		case OpFailLink:
+			if ev.At%(2*FlapRestoreAfter) != 0 {
+				t.Fatalf("fail at %v not on a cycle boundary", ev.At)
+			}
+			balance[key]++
+		case OpRestoreLink:
+			if (ev.At-FlapRestoreAfter)%(2*FlapRestoreAfter) != 0 {
+				t.Fatalf("restore at %v not FlapRestoreAfter into a cycle", ev.At)
+			}
+			balance[key]--
+		default:
+			t.Fatalf("unexpected op %v in storm script", ev.Op)
+		}
+	}
+	for l, b := range balance {
+		if b != 0 {
+			t.Fatalf("link %v fail/restore imbalance %d", l, b)
+		}
+	}
+}
+
+// TestStormSizeScales: small graphs get a small storm, huge graphs cap.
+func TestStormSizeScales(t *testing.T) {
+	if StormSize(100) != 4 || StormSize(2000) != 8 || StormSize(1_000_000) != 64 {
+		t.Fatalf("StormSize = %d/%d/%d", StormSize(100), StormSize(2000), StormSize(1_000_000))
+	}
+}

@@ -135,16 +135,38 @@ func FlapScript(name string, s Set) Script {
 	return sc
 }
 
+// StormScript lays a picked FlapStorm set out as FlapCycles correlated
+// fail/restore rounds: every drawn link fails at the cycle start and is
+// restored FlapRestoreAfter later, all links moving together — the
+// "maintenance window gone wrong" shape where whole swaths of the graph
+// churn at once.
+func StormScript(name string, s Set) Script {
+	sc := Script{Name: name, Dest: s.Dest}
+	for c := 0; c < FlapCycles; c++ {
+		at := time.Duration(c) * 2 * FlapRestoreAfter
+		for _, l := range s.Links {
+			sc.Events = append(sc.Events, Event{At: at, Op: OpFailLink, A: l[0], B: l[1]})
+		}
+		for _, l := range s.Links {
+			sc.Events = append(sc.Events, Event{At: at + FlapRestoreAfter, Op: OpRestoreLink, A: l[0], B: l[1]})
+		}
+	}
+	return sc
+}
+
 // ScriptFor lays a picked set out as the kind's canonical script:
-// FlapCycles fail/restore rounds for LinkFlap, a bare origin withdrawal
-// for PrefixWithdraw, everything at offset zero otherwise. Script is the
-// canonical workload form — the Set is just the picker's intermediate —
-// so every harness (transient, sweep, loss, live emulation) executes the
-// same event stream for the same instance.
+// FlapCycles fail/restore rounds for LinkFlap, correlated multi-link
+// rounds for FlapStorm, a bare origin withdrawal for PrefixWithdraw,
+// everything at offset zero otherwise. Script is the canonical workload
+// form — the Set is just the picker's intermediate — so every harness
+// (transient, sweep, loss, live emulation, atlas) executes the same
+// event stream for the same instance.
 func ScriptFor(k Kind, s Set) Script {
 	switch k {
 	case LinkFlap:
 		return FlapScript(k.String(), s)
+	case FlapStorm:
+		return StormScript(k.String(), s)
 	case PrefixWithdraw:
 		return Script{Name: k.String(), Dest: s.Dest, Events: []Event{
 			{Op: OpWithdraw, Node: s.Dest},
@@ -156,7 +178,7 @@ func ScriptFor(k Kind, s Set) Script {
 // PickScript draws a workload instance of the kind and returns it in
 // canonical Script form; the same rng sequence always yields the same
 // script.
-func PickScript(g *topology.Graph, multihomed []topology.ASN, k Kind, rng *rand.Rand) (Script, error) {
+func PickScript(g Topo, multihomed []topology.ASN, k Kind, rng *rand.Rand) (Script, error) {
 	s, err := Pick(g, multihomed, k, rng)
 	if err != nil {
 		return Script{}, err
@@ -168,15 +190,16 @@ func PickScript(g *topology.Graph, multihomed []topology.ASN, k Kind, rng *rand.
 func Names() []string {
 	return []string{
 		"link-failure", "single-link", "two-links-apart", "two-links-shared",
-		"node-failure", "link-flap", "prefix-withdraw",
+		"node-failure", "link-flap", "prefix-withdraw", "flap-storm",
 	}
 }
 
 // Named builds a script by CLI name on a topology, with workload
 // randomness drawn from seed: the §6.2 failure kinds (including
 // "link-flap", FlapCycles fail/restore rounds of one destination provider
-// link) and "prefix-withdraw" (the origin withdraws its prefix).
-func Named(name string, g *topology.Graph, seed int64) (Script, error) {
+// link), "prefix-withdraw" (the origin withdraws its prefix), and
+// "flap-storm" (many degree-weighted concurrent link flaps).
+func Named(name string, g Topo, seed int64) (Script, error) {
 	k, err := ParseKind(name)
 	if err != nil {
 		return Script{}, err

@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench` text output on stdin
+// into the canonical BENCH_*.json document CI archives, so the bench
+// trajectory accumulates in one machine-readable shape instead of raw
+// log text:
+//
+//	go test -bench 'X|Y' -benchtime=1x -run '^$' . | go run ./internal/tools/benchjson > BENCH_micro.json
+//
+// Every benchmark line becomes one entry: iterations, ns/op, B/op,
+// allocs/op when present, and every custom b.ReportMetric unit under
+// "metrics". Environment lines (goos/goarch/pkg/cpu) are carried in the
+// header. Exit is nonzero when no benchmark lines were found, so a CI
+// step cannot silently archive an empty run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion pins the document shape.
+const SchemaVersion = 1
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the canonical output document.
+type Doc struct {
+	SchemaVersion int         `json:"schema_version"`
+	Source        string      `json:"source"`
+	Goos          string      `json:"goos,omitempty"`
+	Goarch        string      `json:"goarch,omitempty"`
+	Pkg           string      `json:"pkg,omitempty"`
+	CPU           string      `json:"cpu,omitempty"`
+	Benchmarks    []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	doc, err := Parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// Parse consumes `go test -bench` output line by line.
+func Parse(sc *bufio.Scanner) (*Doc, error) {
+	doc := &Doc{SchemaVersion: SchemaVersion, Source: "go test -bench"}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines on stdin")
+	}
+	return doc, nil
+}
+
+// parseLine parses one "BenchmarkName-8  20  123 ns/op  4.5 unit ..."
+// line: a name, an iteration count, then (value, unit) pairs.
+func parseLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line %q", line)
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("bad iteration count in %q: %w", line, err)
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("bad value %q in %q: %w", fields[i], line, err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			v := v
+			b.BytesPerOp = &v
+		case "allocs/op":
+			v := v
+			b.AllocsPerOp = &v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, nil
+}

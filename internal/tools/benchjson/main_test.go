@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: stamp
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAtlasConverge/flat         	      20	   9460366 ns/op	        30.00 bgp-rounds	       0 B/op	       0 allocs/op
+BenchmarkAtlasConverge/map          	      20	  70267561 ns/op	11295404 B/op	    3558 allocs/op
+BenchmarkEmuConvergence-8   	       1	 455000000 ns/op	       452 boot-ms	      4946 sessions
+PASS
+ok  	stamp	1.892s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.SchemaVersion != SchemaVersion || doc.Goos != "linux" || doc.Pkg != "stamp" {
+		t.Fatalf("header = %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	flat := doc.Benchmarks[0]
+	if flat.Name != "BenchmarkAtlasConverge/flat" || flat.Iterations != 20 || flat.NsPerOp != 9460366 {
+		t.Fatalf("flat = %+v", flat)
+	}
+	if flat.AllocsPerOp == nil || *flat.AllocsPerOp != 0 {
+		t.Fatalf("flat allocs = %v, want 0", flat.AllocsPerOp)
+	}
+	if flat.Metrics["bgp-rounds"] != 30 {
+		t.Fatalf("flat metrics = %v", flat.Metrics)
+	}
+	emu := doc.Benchmarks[2]
+	if emu.Metrics["sessions"] != 4946 || emu.Metrics["boot-ms"] != 452 {
+		t.Fatalf("emu metrics = %v", emu.Metrics)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(bufio.NewScanner(strings.NewReader("PASS\nok x 1s\n"))); err == nil {
+		t.Fatal("empty bench output parsed without error")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := Parse(bufio.NewScanner(strings.NewReader("BenchmarkX notanumber ns/op\n"))); err == nil {
+		t.Fatal("malformed line parsed without error")
+	}
+}
