@@ -417,6 +417,69 @@ func BenchmarkAtlasConverge(b *testing.B) {
 	})
 }
 
+// BenchmarkAtlasIncremental prices the incremental convergence tentpole
+// on the same 10,000-AS flap-storm workload as BenchmarkAtlasConverge:
+// per-event cost of ApplyEvent (invalidation cascade + frontier
+// re-settle on a live fixpoint) vs ConvergeScratch (full three-plane
+// re-convergence of the identically damaged topology). The
+// scratch/incremental ns-per-op ratio is the replay subsystem's
+// headline speedup (target ≥10×), and the incremental variant must
+// report 0 allocs/op (also pinned by TestIncrementalHotLoopAllocs and
+// the fuzz harness).
+func BenchmarkAtlasIncremental(b *testing.B) {
+	const n = 10_000
+	tg, err := topology.GenerateDefault(n, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := atlas.FromTopology(tg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	script, err := scenario.PickScript(g, scenario.Multihomed(g), scenario.FlapStorm,
+		rand.New(rand.NewSource(benchSeed)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := script.Sorted()
+	dests, err := atlas.Destinations(g, 1, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dest := dests[0]
+
+	// The storm script is restore-balanced, so cycling it replays a
+	// valid endless event stream (exactly what atlas.Replay -repeat
+	// does).
+	b.Run("incremental", func(b *testing.B) {
+		eng := atlas.NewEngine(g, atlas.DefaultParams())
+		st := eng.NewState()
+		if err := eng.InitDest(st, dest); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.ApplyEvent(st, events[i%len(events)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	})
+	b.Run("scratch", func(b *testing.B) {
+		eng := atlas.NewEngine(g, atlas.DefaultParams())
+		st := eng.NewState()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.ConvergeScratch(st, dest, events[:i%len(events)+1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	})
+}
+
 // BenchmarkEngineThroughput measures raw simulator performance: events
 // per second for a full BGP convergence, the substrate cost everything
 // else pays.

@@ -177,6 +177,12 @@ type State struct {
 	// out is the shard-result scratch the driver fills (see
 	// engineState.outcome).
 	out DestOutcome
+
+	// inited records that the state holds a converged fixpoint, the
+	// precondition for ApplyEvent; evScratch is the single-event group
+	// ApplyEvent hands to the shared driver without allocating.
+	inited    bool
+	evScratch [1]scenario.Event
 }
 
 // outcome implements engineState.
@@ -221,6 +227,7 @@ func (e *Engine) NewState() *State {
 // reset returns the state to pristine for a new destination shard.
 func (st *State) reset(dest topology.ASN) {
 	st.dest = dest
+	st.inited = false
 	st.withdrawn = false
 	clear(st.down)
 	clear(st.nodeDown)
@@ -644,80 +651,224 @@ type engineState interface {
 // node events are applied globally; its Dest field is ignored (each
 // shard is its own origin).
 func (e *Engine) ConvergeDest(st *State, dest topology.ASN, groups [][]scenario.Event) (DestOutcome, error) {
-	return convergeDest(st, e.p, dest, groups)
+	out, err := convergeDest(st, e.p, dest, groups)
+	st.inited = err == nil
+	return out, err
 }
 
-// convergeDest is the engine-independent destination driver.
-func convergeDest(st engineState, params Params, dest topology.ASN, groups [][]scenario.Event) (DestOutcome, error) {
-	st.reset(dest)
+// mraiRounds normalizes Params.MRAIRounds for the converge loop (NoMRAI
+// becomes 0: no pacing).
+func mraiRounds(params Params) int32 {
 	mrai := int32(params.MRAIRounds)
 	if mrai < 0 {
 		mrai = 0
 	}
-	out := st.outcome()
-	*out = DestOutcome{Dest: dest, Groups: len(groups)}
-	planes := [planeCount]*PlaneOutcome{&out.BGP, &out.Red, &out.Blue}
+	return mrai
+}
 
-	// Initial convergence: BGP, then red, then blue (blue's export rules
-	// read the red fixpoint and the lock chain).
+// planesOf indexes a shard outcome's per-plane slots by plane constant.
+func planesOf(out *DestOutcome) [planeCount]*PlaneOutcome {
+	return [planeCount]*PlaneOutcome{&out.BGP, &out.Red, &out.Blue}
+}
+
+// initConverge resets the state to dest, applies pre as pre-existing
+// damage (nil for a pristine topology), and converges the three planes
+// from scratch: BGP, then red, then blue (blue's export rules read the
+// red fixpoint and the lock chain). Initial propagation is not loss, so
+// the loss and churn accounting is cleared afterwards.
+func initConverge(st engineState, params Params, dest topology.ASN, pre []scenario.Event) error {
+	st.reset(dest)
+	out := st.outcome()
+	*out = DestOutcome{Dest: dest}
+	for _, ev := range pre {
+		if err := st.apply(ev); err != nil {
+			return err
+		}
+	}
+	mrai := mraiRounds(params)
+	planes := planesOf(out)
 	st.computeChain()
 	for p := 0; p < planeCount; p++ {
 		st.beginWindow(p)
 		st.initPlane(p)
 		rounds, err := st.converge(p, mrai, planes[p])
 		if err != nil {
-			return DestOutcome{}, err
+			return err
 		}
 		planes[p].InitRounds = rounds
 		// Initial propagation is not loss: clear the accounting.
 		st.clearLoss(p)
 		planes[p].Changed = 0
 	}
+	return nil
+}
 
-	for _, group := range groups {
-		st.snapshotHadStart()
-		for _, ev := range group {
-			if err := st.apply(ev); err != nil {
-				return DestOutcome{}, err
-			}
+// stepGroup applies one event group atomically to a converged state and
+// re-settles all three planes from the invalidated frontier: cascade
+// the victims, seed the event endpoints (and, for blue, the ASes whose
+// red route moved), converge, and settle the group's loss accounting.
+// Returns whether the blue lock chain moved (forcing a red/blue
+// re-root). This is the incremental hot path: it allocates nothing.
+func stepGroup(st engineState, params Params, group []scenario.Event) (bool, error) {
+	mrai := mraiRounds(params)
+	out := st.outcome()
+	out.Groups++
+	planes := planesOf(out)
+	st.snapshotHadStart()
+	for _, ev := range group {
+		if err := st.apply(ev); err != nil {
+			return false, err
 		}
-		chainChanged := st.computeChain()
-		var redEpoch int32
-		for p := 0; p < planeCount; p++ {
-			epoch := st.beginWindow(p)
-			if p == planeRed {
-				redEpoch = epoch
-			}
-			if (p == planeBlue || p == planeRed) && chainChanged {
-				// The lock chain moved: both colors' selective rules
-				// changed, so the plane re-roots from scratch — the
-				// paper's observed blue re-root cost, surfaced honestly.
-				st.initPlane(p)
-			} else {
-				st.cascade(p, planes[p])
-				st.seedEventFrontier(group)
-				if p == planeBlue {
-					// Blue's export rules read red's fixpoint ("red
-					// precedence"): wherever red changed this group, the
-					// providers of that AS must re-evaluate their blue
-					// offers even though no blue link died.
-					st.seedRedDependents(redEpoch)
-				}
-			}
-			rounds, err := st.converge(p, mrai, planes[p])
-			if err != nil {
-				return DestOutcome{}, err
-			}
-			planes[p].ReconvRounds += rounds
-			if rounds > planes[p].MaxReconvRounds {
-				planes[p].MaxReconvRounds = rounds
-			}
-			st.settleGroup(p, rounds, planes[p])
-		}
-		st.accumulateGroupLoss(out)
 	}
+	chainChanged := st.computeChain()
+	var redEpoch int32
+	for p := 0; p < planeCount; p++ {
+		epoch := st.beginWindow(p)
+		if p == planeRed {
+			redEpoch = epoch
+		}
+		if (p == planeBlue || p == planeRed) && chainChanged {
+			// The lock chain moved: both colors' selective rules
+			// changed, so the plane re-roots from scratch — the
+			// paper's observed blue re-root cost, surfaced honestly.
+			st.initPlane(p)
+		} else {
+			st.cascade(p, planes[p])
+			st.seedEventFrontier(group)
+			if p == planeBlue {
+				// Blue's export rules read red's fixpoint ("red
+				// precedence"): wherever red changed this group, the
+				// providers of that AS must re-evaluate their blue
+				// offers even though no blue link died.
+				st.seedRedDependents(redEpoch)
+			}
+		}
+		rounds, err := st.converge(p, mrai, planes[p])
+		if err != nil {
+			return false, err
+		}
+		planes[p].ReconvRounds += rounds
+		if rounds > planes[p].MaxReconvRounds {
+			planes[p].MaxReconvRounds = rounds
+		}
+		st.settleGroup(p, rounds, planes[p])
+	}
+	st.accumulateGroupLoss(out)
+	return chainChanged, nil
+}
+
+// convergeDest is the engine-independent destination driver.
+func convergeDest(st engineState, params Params, dest topology.ASN, groups [][]scenario.Event) (DestOutcome, error) {
+	if err := initConverge(st, params, dest, nil); err != nil {
+		return DestOutcome{}, err
+	}
+	for _, group := range groups {
+		if _, err := stepGroup(st, params, group); err != nil {
+			return DestOutcome{}, err
+		}
+	}
+	out := st.outcome()
 	st.accumulateFinal(out)
 	return *out, nil
+}
+
+// EventCost is the incremental price of one applied event: the
+// re-convergence rounds and route churn it caused, and the transient
+// loss integrated over its window — the per-event resolution Replay
+// emits. Deltas are window-local (each event is its own accounting
+// window), so summing EventCosts over a stream reproduces the
+// aggregate ReconvRounds/LostASRounds a grouped ConvergeDest run of
+// the same windows would report.
+type EventCost struct {
+	// Per-plane re-convergence rounds for this event's window.
+	BGPRounds  int32 `json:"bgp_rounds"`
+	RedRounds  int32 `json:"red_rounds"`
+	BlueRounds int32 `json:"blue_rounds"`
+	// Changed counts distinct (AS, plane) route changes.
+	Changed int64 `json:"changed"`
+	// Transient lost AS-rounds during this window, per plane and for
+	// STAMP's data plane (min of red/blue per AS).
+	BGPLost   int64 `json:"bgp_lost_as_rounds"`
+	RedLost   int64 `json:"red_lost_as_rounds"`
+	BlueLost  int64 `json:"blue_lost_as_rounds"`
+	StampLost int64 `json:"stamp_lost_as_rounds"`
+	// Reroot reports that the event moved the blue lock chain, forcing
+	// the red and blue planes to re-converge from scratch.
+	Reroot bool `json:"reroot,omitempty"`
+}
+
+// Rounds is the event's total re-convergence rounds across planes.
+func (c EventCost) Rounds() int32 { return c.BGPRounds + c.RedRounds + c.BlueRounds }
+
+// applyEventGroup runs stepGroup and extracts the window's deltas from
+// the cumulative outcome.
+func applyEventGroup(st engineState, params Params, group []scenario.Event) (EventCost, error) {
+	out := st.outcome()
+	prev := *out
+	reroot, err := stepGroup(st, params, group)
+	if err != nil {
+		return EventCost{}, err
+	}
+	return EventCost{
+		BGPRounds:  out.BGP.ReconvRounds - prev.BGP.ReconvRounds,
+		RedRounds:  out.Red.ReconvRounds - prev.Red.ReconvRounds,
+		BlueRounds: out.Blue.ReconvRounds - prev.Blue.ReconvRounds,
+		Changed: (out.BGP.Changed - prev.BGP.Changed) +
+			(out.Red.Changed - prev.Red.Changed) +
+			(out.Blue.Changed - prev.Blue.Changed),
+		BGPLost:   out.BGP.LostASRounds - prev.BGP.LostASRounds,
+		RedLost:   out.Red.LostASRounds - prev.Red.LostASRounds,
+		BlueLost:  out.Blue.LostASRounds - prev.Blue.LostASRounds,
+		StampLost: out.StampLostASRounds - prev.StampLostASRounds,
+		Reroot:    reroot,
+	}, nil
+}
+
+// InitDest converges dest's three planes from scratch on the pristine
+// topology and leaves st at the fixpoint, ready for ApplyEvent to
+// stream events incrementally. The outcome accumulates in the state;
+// FinishDest reads it out.
+func (e *Engine) InitDest(st *State, dest topology.ASN) error {
+	err := initConverge(st, e.p, dest, nil)
+	st.inited = err == nil
+	return err
+}
+
+// ApplyEvent applies one scenario event to a converged state and
+// re-settles the three planes incrementally: only the invalidated
+// frontier (the cascade's victims plus the event's endpoints) is
+// re-evaluated, not the whole graph. The returned EventCost is the
+// event's own convergence window; the state is left at the new
+// fixpoint — differentially pinned against ConvergeScratch after every
+// event of every scenario kind. Allocates nothing (the incremental
+// hot-loop discipline, gated by TestIncrementalHotLoopAllocs).
+func (e *Engine) ApplyEvent(st *State, ev scenario.Event) (EventCost, error) {
+	if !st.inited {
+		return EventCost{}, fmt.Errorf("atlas: ApplyEvent on a state that was never converged (call InitDest first)")
+	}
+	st.evScratch[0] = ev
+	return applyEventGroup(st, e.p, st.evScratch[:1])
+}
+
+// FinishDest returns the accumulated shard outcome with final
+// unreachability folded in. Idempotent: the final counters are computed
+// on the returned copy, not the state.
+func (e *Engine) FinishDest(st *State) DestOutcome {
+	out := st.out
+	st.accumulateFinal(&out)
+	return out
+}
+
+// ConvergeScratch is the from-scratch reference for the incremental
+// mode: reset the state, apply every event as pre-existing damage, and
+// converge the three planes with the initial-convergence path — the
+// cost a non-incremental engine would pay after every event, and the
+// fixpoint ApplyEvent is differentially validated (DiffStates) and
+// benchmarked (BenchmarkAtlasIncremental) against.
+func (e *Engine) ConvergeScratch(st *State, dest topology.ASN, events []scenario.Event) error {
+	err := initConverge(st, e.p, dest, events)
+	st.inited = err == nil
+	return err
 }
 
 // beginWindow implements engineState.

@@ -61,6 +61,10 @@ type MapState struct {
 	epoch        int32
 
 	out DestOutcome
+
+	// inited/evScratch mirror State's incremental-mode plumbing.
+	inited    bool
+	evScratch [1]scenario.Event
 }
 
 // outcome implements engineState.
@@ -97,11 +101,46 @@ func (st *MapState) resetMaps() {
 
 // ConvergeDest mirrors Engine.ConvergeDest through the shared driver.
 func (e *MapEngine) ConvergeDest(st *MapState, dest topology.ASN, groups [][]scenario.Event) (DestOutcome, error) {
-	return convergeDest(st, e.p, dest, groups)
+	out, err := convergeDest(st, e.p, dest, groups)
+	st.inited = err == nil
+	return out, err
+}
+
+// InitDest mirrors Engine.InitDest on the map reference.
+func (e *MapEngine) InitDest(st *MapState, dest topology.ASN) error {
+	err := initConverge(st, e.p, dest, nil)
+	st.inited = err == nil
+	return err
+}
+
+// ApplyEvent mirrors Engine.ApplyEvent on the map reference, so the
+// differential harness can pin the incremental fixpoint on both
+// storage layouts.
+func (e *MapEngine) ApplyEvent(st *MapState, ev scenario.Event) (EventCost, error) {
+	if !st.inited {
+		return EventCost{}, fmt.Errorf("atlas: ApplyEvent on a state that was never converged (call InitDest first)")
+	}
+	st.evScratch[0] = ev
+	return applyEventGroup(st, e.p, st.evScratch[:1])
+}
+
+// FinishDest mirrors Engine.FinishDest.
+func (e *MapEngine) FinishDest(st *MapState) DestOutcome {
+	out := st.out
+	st.accumulateFinal(&out)
+	return out
+}
+
+// ConvergeScratch mirrors Engine.ConvergeScratch.
+func (e *MapEngine) ConvergeScratch(st *MapState, dest topology.ASN, events []scenario.Event) error {
+	err := initConverge(st, e.p, dest, events)
+	st.inited = err == nil
+	return err
 }
 
 func (st *MapState) reset(dest topology.ASN) {
 	st.dest = dest
+	st.inited = false
 	st.withdrawn = false
 	st.resetMaps()
 }

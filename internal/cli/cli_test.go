@@ -46,6 +46,9 @@ func TestExitCodes(t *testing.T) {
 		{"atlas bad scenario", []string{"atlas", "-n", "100", "-scenario", "meteor-strike"}, ExitFailure},
 		{"atlas rejects prefix-withdraw", []string{"atlas", "-n", "100", "-scenario", "prefix-withdraw"}, ExitFailure},
 		{"atlas -h is success", []string{"atlas", "-h"}, ExitOK},
+		{"atlas -loss -replay conflict", []string{"atlas", "-loss", "-replay", "-n", "100"}, ExitUsage},
+		{"atlas replay rejects withdraw", []string{"atlas", "-replay", "-n", "100", "-scenario", "prefix-withdraw"}, ExitFailure},
+		{"atlas replay rejects unbalanced repeat", []string{"atlas", "-replay", "-n", "100", "-scenario", "node-failure", "-repeat", "2", "-dests", "2"}, ExitFailure},
 		{"topo stats with snapshot flags", []string{"topo", "-in", "/no/such/file", "-tier1", "9"}, ExitUsage},
 		{"flood bad backend", []string{"flood", "-backend", "quantum", "-n", "50"}, ExitFailure},
 		{"topo ok", []string{"topo", "-n", "30"}, ExitOK},
@@ -205,5 +208,44 @@ func TestAtlasJSONByteIdenticalAcrossWorkers(t *testing.T) {
 	}
 	if snaps[0] != snaps[1] {
 		t.Errorf("stamp run atlas-converge -json differs between -workers 1 and 4:\n%.300s\n%.300s", snaps[0], snaps[1])
+	}
+}
+
+// TestAtlasReplayCLI: `stamp atlas -replay` streams the script through
+// the incremental engine end to end, and its JSON is byte-identical for
+// any -workers value — the CLI-level determinism gate for the replay
+// path.
+func TestAtlasReplayCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	var snaps []string
+	for _, workers := range []string{"1", "8"} {
+		code, stdout, stderr := run(t, "atlas", "-replay",
+			"-n", "200", "-dests", "6", "-seed", "5", "-repeat", "2", "-workers", workers, "-json")
+		if code != ExitOK {
+			t.Fatalf("workers=%s: exit %d (stderr: %s)", workers, code, stderr)
+		}
+		snaps = append(snaps, stdout)
+	}
+	if snaps[0] != snaps[1] {
+		t.Errorf("stamp atlas -replay -json differs between -workers 1 and 8:\n%.300s\n%.300s", snaps[0], snaps[1])
+	}
+	var env struct {
+		Experiment string `json:"experiment"`
+		Data       struct {
+			TotalEvents int `json:"total_events"`
+			Repeat      int `json:"repeat"`
+			PerEvent    []struct {
+				Rounds int64 `json:"rounds"`
+			} `json:"per_event"`
+		} `json:"data"`
+	}
+	if err := json.Unmarshal([]byte(snaps[0]), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Experiment != "atlas-replay" || env.Data.Repeat != 2 ||
+		len(env.Data.PerEvent) != env.Data.TotalEvents || env.Data.TotalEvents == 0 {
+		t.Errorf("envelope = %+v, want an atlas-replay per-event stream", env)
 	}
 }

@@ -28,6 +28,7 @@ type requestFlags struct {
 	ticks     *int
 	workers   *int
 	dests     *int
+	repeat    *int
 	topoSeeds *string
 	jsonOut   *bool
 	progress  *bool
@@ -48,6 +49,7 @@ func addRequestFlags(fs *flag.FlagSet) *requestFlags {
 		ticks:     fs.Int("ticks", 0, "traffic samples per run (0 = backend default)"),
 		workers:   fs.Int("workers", 0, "worker pool size (0 = one per CPU)"),
 		dests:     fs.Int("dests", 0, "destination shards for atlas experiments (0 = default)"),
+		repeat:    fs.Int("repeat", 0, "script repeat cycles for stream experiments like atlas-replay (0 = once; needs a restore-balanced scenario)"),
 		topoSeeds: fs.String("topo-seeds", "1,2,3", "comma-separated topology seeds (sweep experiment)"),
 		jsonOut:   fs.Bool("json", false, "emit the result envelope as JSON on stdout"),
 		progress:  fs.Bool("progress", false, "report shard progress on stderr"),
@@ -78,6 +80,7 @@ func (f *requestFlags) request(e env, experiment string) (lab.Request, error) {
 		Ticks:      *f.ticks,
 		Workers:    *f.workers,
 		Dests:      *f.dests,
+		Repeat:     *f.repeat,
 		TopoSeeds:  seeds,
 		Progress:   e.progressFn(*f.progress),
 		Context:    e.ctx,
@@ -189,19 +192,27 @@ func (e env) cmdFlood(args []string) int {
 }
 
 // cmdAtlas is `stamp atlas` — the internet-scale flat-engine run,
-// sugar for `stamp run atlas-converge` (or atlas-loss with -loss):
-// ingest a CAIDA snapshot (or generate), converge every destination
-// shard, report rounds/churn/loss.
+// sugar for `stamp run atlas-converge` (or atlas-loss with -loss,
+// atlas-replay with -replay): ingest a CAIDA snapshot (or generate),
+// converge every destination shard, report rounds/churn/loss.
 func (e env) cmdAtlas(args []string) int {
 	fs := e.flagSet("stamp atlas")
 	f := addRequestFlags(fs)
 	loss := fs.Bool("loss", false, "reduce to the BGP-vs-STAMP transient-loss comparison (atlas-loss)")
+	replay := fs.Bool("replay", false, "stream the script through the incremental engine, reporting per-event cost (atlas-replay)")
 	if code, done := parse(fs, args); done {
 		return code
+	}
+	if *loss && *replay {
+		fmt.Fprintln(e.stderr, "stamp atlas: -loss and -replay are mutually exclusive")
+		return ExitUsage
 	}
 	name := "atlas-converge"
 	if *loss {
 		name = "atlas-loss"
+	}
+	if *replay {
+		name = "atlas-replay"
 	}
 	req, err := f.request(e, name)
 	if err != nil {

@@ -26,6 +26,12 @@ func init() {
 		DefaultScenario: "flap-storm",
 		Run:             func(req Request) (*Result, error) { return runAtlas(req, true) },
 	})
+	Register(Experiment{
+		Name: "atlas-replay", Desc: "event-stream replay through the incremental engine: per-event convergence cost and time-resolved loss, settled from the invalidated frontier",
+		DefaultN:        10000,
+		DefaultScenario: "flap-storm",
+		Run:             runAtlasReplay,
+	})
 }
 
 // atlasGraph builds the CSR topology: ingested straight from a
@@ -117,6 +123,43 @@ func runAtlas(req Request, loss bool) (*Result, error) {
 	}
 	// Destinations are the sampling dimension; the trials knob does not
 	// apply.
+	res.Trials = 0
+	return res, nil
+}
+
+// runAtlasReplay streams the scenario through the incremental engine
+// instead of the grouped from-scratch driver: the payload is the full
+// per-event cost curve.
+func runAtlasReplay(req Request) (*Result, error) {
+	kind, err := scenario.ParseKind(req.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	g, err := req.atlasGraph()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := atlas.Replay(atlas.ReplayOptions{
+		Graph: g, Scenario: kind, Repeat: req.Repeat, Dests: req.Dests, Seed: req.Seed,
+		Workers: req.Workers, Progress: req.Progress, Context: req.ctx(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		SchemaVersion: SchemaVersion,
+		Experiment:    req.Experiment,
+		Backend:       "sim",
+		Scenario:      req.Scenario,
+		Seed:          req.Seed,
+		Topology: TopoInfo{
+			ASes:   g.Len(),
+			Links:  g.EdgeCount(),
+			Tier1s: g.Tier1Count(),
+			Loaded: req.Topo.Path != "",
+		},
+		Data: rep,
+	}
 	res.Trials = 0
 	return res, nil
 }

@@ -81,6 +81,10 @@ type Request struct {
 	// Dests is the destination-shard count for atlas experiments
 	// (<= 0: atlas.DefaultDests).
 	Dests int
+	// Repeat cycles the scenario script for stream experiments
+	// (atlas-replay); <= 0 means once. Only restore-balanced scripts
+	// (flap, storm) may repeat.
+	Repeat int
 	// TopoSeeds are the sweep experiment's topology generator seeds
 	// (nil: {1, 2, 3}).
 	TopoSeeds []int64

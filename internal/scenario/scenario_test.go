@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
@@ -101,6 +102,35 @@ func TestScriptSorted(t *testing.T) {
 	// Sorted must not mutate the script itself.
 	if s.Events[0].Op != OpRestoreLink {
 		t.Error("Sorted mutated the original event slice")
+	}
+}
+
+// TestScriptSortedStableOnCollidingOffsets pins the documented tie
+// rule: events at one offset apply in Script index order, every time.
+// Replay determinism depends on it — a storm script fails many links at
+// the same instant, and byte-identical output across runs and worker
+// counts needs those fails in one canonical sequence.
+func TestScriptSortedStableOnCollidingOffsets(t *testing.T) {
+	at := 500 * time.Millisecond
+	s := Script{Events: []Event{
+		{At: at, Op: OpFailLink, A: 7, B: 8},
+		{At: 0, Op: OpFailLink, A: 1, B: 2},
+		{At: at, Op: OpFailLink, A: 3, B: 4},
+		{At: at, Op: OpRestoreLink, A: 1, B: 2},
+		{At: at, Op: OpFailLink, A: 5, B: 6},
+	}}
+	want := []Event{
+		{At: 0, Op: OpFailLink, A: 1, B: 2},
+		{At: at, Op: OpFailLink, A: 7, B: 8},
+		{At: at, Op: OpFailLink, A: 3, B: 4},
+		{At: at, Op: OpRestoreLink, A: 1, B: 2},
+		{At: at, Op: OpFailLink, A: 5, B: 6},
+	}
+	for trial := 0; trial < 10; trial++ {
+		got := s.Sorted()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: colliding offsets reordered:\ngot  %v\nwant %v", trial, got, want)
+		}
 	}
 }
 

@@ -67,7 +67,12 @@ type Script struct {
 	Events []Event
 }
 
-// Sorted returns the events ordered by offset (stable for equal offsets).
+// Sorted returns the events ordered by offset. The order is a
+// guarantee, not an accident: events with identical offsets keep their
+// Script index order (stable sort), so every consumer — the grouped
+// atlas driver, the incremental replay, the simulator, the live
+// emulation — applies a colliding-offset script in exactly one
+// reproducible sequence.
 func (s Script) Sorted() []Event {
 	out := append([]Event(nil), s.Events...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
