@@ -67,8 +67,9 @@ func DefaultParams() Params { return Params{MRAIRounds: 2} }
 
 // Engine converges destinations on one immutable CSR graph.
 type Engine struct {
-	g *Graph
-	p Params
+	g       *Graph
+	p       Params
+	metrics *Metrics
 }
 
 // NewEngine builds an engine over g.
@@ -183,6 +184,12 @@ type State struct {
 	// ApplyEvent hands to the shared driver without allocating.
 	inited    bool
 	evScratch [1]scenario.Event
+
+	// seedFront records, per plane, the frontier size at the start of
+	// the last convergence window — the instrumentation's measure of how
+	// local an incremental repair was (one store per window; no cost
+	// when metrics are detached).
+	seedFront [planeCount]int32
 }
 
 // outcome implements engineState.
@@ -427,6 +434,7 @@ func (st *State) markChanged(p int, a int32) bool {
 // allocates nothing (front/pend were sized to n up front).
 func (st *State) converge(p int, mrai int32, out *PlaneOutcome) (int32, error) {
 	g := st.g
+	st.seedFront[p] = int32(st.frontLen)
 	// Safety bound: Gao-Rexford policies are provably safe under any
 	// activation order, so this fires only on an engine bug.
 	maxRounds := int32(10_000) + 16*int32(g.Len())
@@ -847,7 +855,11 @@ func (e *Engine) ApplyEvent(st *State, ev scenario.Event) (EventCost, error) {
 		return EventCost{}, fmt.Errorf("atlas: ApplyEvent on a state that was never converged (call InitDest first)")
 	}
 	st.evScratch[0] = ev
-	return applyEventGroup(st, e.p, st.evScratch[:1])
+	cost, err := applyEventGroup(st, e.p, st.evScratch[:1])
+	if err == nil && e.metrics != nil {
+		e.metrics.record(st, cost)
+	}
+	return cost, err
 }
 
 // FinishDest returns the accumulated shard outcome with final

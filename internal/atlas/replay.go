@@ -98,6 +98,11 @@ type replayShard struct {
 	costs []EventCost
 }
 
+// Repeatable reports whether a script can be cycled indefinitely —
+// the check behind ReplayOptions.Repeat, exported for the serve layer's
+// endless replay mode.
+func Repeatable(events []scenario.Event) error { return repeatableScript(events) }
+
 // repeatableScript reports whether a script can be cycled: link events
 // only (node failures are permanent, withdrawals single-shot) and every
 // link restore-balanced, so each cycle ends on the topology the next

@@ -80,6 +80,8 @@ func Main(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		return e.cmdAsrel(rest)
 	case "daemon":
 		return e.cmdDaemon(rest)
+	case "serve":
+		return e.cmdServe(rest)
 	case "help", "-h", "-help", "--help":
 		usage(stdout)
 		return ExitOK
@@ -105,6 +107,8 @@ subcommands:
                     or print -stats for any graph (-in loads a snapshot)
   asrel             infer AS relationships from AS paths (Gao's algorithm)
   daemon            run one live STAMP routing process (one color) over TCP
+  serve             always-on service mode: converge an atlas fixpoint, apply
+                    replayed/admin events, serve /metrics, /events, /state
   help              this text
 
 exit codes: 0 success, 1 failure or sim-vs-live divergence, 2 usage.

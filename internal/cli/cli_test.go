@@ -4,11 +4,16 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"net/http"
 	"os"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"stamp/internal/lab"
+	"stamp/internal/obs"
 )
 
 // run drives the full CLI in-process: argv to exit code, capturing both
@@ -52,6 +57,13 @@ func TestExitCodes(t *testing.T) {
 		{"topo stats with snapshot flags", []string{"topo", "-in", "/no/such/file", "-tier1", "9"}, ExitUsage},
 		{"flood bad backend", []string{"flood", "-backend", "quantum", "-n", "50"}, ExitFailure},
 		{"topo ok", []string{"topo", "-n", "30"}, ExitOK},
+		{"serve -h is success", []string{"serve", "-h"}, ExitOK},
+		{"serve bad flag", []string{"serve", "-badflag"}, ExitUsage},
+		{"serve bad scenario", []string{"serve", "-scenario", "meteor-strike"}, ExitUsage},
+		{"serve bad rate", []string{"serve", "-rate", "0"}, ExitUsage},
+		{"serve bind failure", []string{"serve", "-n", "100", "-addr", "999.999.999.999:0", "-swarm", "1"}, ExitFailure},
+		{"serve missing snapshot", []string{"serve", "-topo", "/no/such/file"}, ExitFailure},
+		{"serve rejects unbalanced endless replay", []string{"serve", "-n", "100", "-replay", "-scenario", "node-failure"}, ExitFailure},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -122,6 +134,95 @@ func TestListCoversRegistry(t *testing.T) {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("stamp list output missing %q", name)
 		}
+	}
+}
+
+// syncBuf is a goroutine-safe writer for capturing a live subcommand's
+// stderr while it runs.
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestDaemonMetricsEndpoint: `stamp daemon -metrics` exposes the shared
+// observability mux — wire-level Prometheus metrics and /healthz —
+// while the daemon runs, and SIGINT (context cancel) still exits 0.
+func TestDaemonMetricsEndpoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	errw := &syncBuf{}
+	done := make(chan int, 1)
+	go func() {
+		done <- Main(ctx, []string{"daemon", "-as", "64512",
+			"-listen", "127.0.0.1:0", "-metrics", "127.0.0.1:0"}, &out, errw)
+	}()
+
+	// The daemon logs the bound metrics address; poll for it.
+	re := regexp.MustCompile(`metrics on (http://[^/\s]+)/metrics`)
+	var base string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if m := re.FindStringSubmatch(errw.String()); m != nil {
+			base = m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if base == "" {
+		cancel()
+		t.Fatalf("metrics address never logged:\n%s", errw.String())
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := obs.ParseText(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"stamp_netd_sessions_up", "stamp_daemon_route_changes_total"} {
+		if _, ok := sc.Types[want]; !ok {
+			t.Errorf("scrape missing %s", want)
+		}
+	}
+	var health struct {
+		Status string `json:"status"`
+		AS     int    `json:"as"`
+	}
+	hr, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if health.Status != "ok" || health.AS != 64512 {
+		t.Errorf("health = %+v", health)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != ExitOK {
+			t.Errorf("daemon exit %d, want %d", code, ExitOK)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit on context cancel")
 	}
 }
 
@@ -208,6 +309,41 @@ func TestAtlasJSONByteIdenticalAcrossWorkers(t *testing.T) {
 	}
 	if snaps[0] != snaps[1] {
 		t.Errorf("stamp run atlas-converge -json differs between -workers 1 and 4:\n%.300s\n%.300s", snaps[0], snaps[1])
+	}
+}
+
+// TestServeSwarmCLI: `stamp serve -replay -swarm` boots the service
+// mode end to end — converge, replay, swarm load, SLO gate — and emits
+// the swarm report JSON.
+func TestServeSwarmCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live service load run")
+	}
+	code, stdout, stderr := run(t, "serve",
+		"-n", "300", "-dests", "4", "-seed", "3", "-addr", "127.0.0.1:0",
+		"-replay", "-rate", "40", "-swarm", "4", "-duration", "1s", "-json")
+	if code != ExitOK {
+		t.Fatalf("serve exit %d (stderr: %s)", code, stderr)
+	}
+	var rep struct {
+		Readers           int     `json:"readers"`
+		Requests          int64   `json:"requests"`
+		ReadP99Ms         float64 `json:"read_p99_ms"`
+		CountersMonotonic bool    `json:"counters_monotonic"`
+		EpochEnd          uint64  `json:"epoch_end"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("swarm report: %v\n%s", err, stdout)
+	}
+	if rep.Readers != 4 || rep.Requests == 0 || !rep.CountersMonotonic || rep.EpochEnd == 0 {
+		t.Errorf("report = %+v, want a live loaded run with monotonic counters", rep)
+	}
+	// An absurdly tight SLO must trip the gate.
+	code, _, stderr = run(t, "serve",
+		"-n", "300", "-dests", "2", "-seed", "3", "-addr", "127.0.0.1:0",
+		"-replay", "-swarm", "2", "-duration", "500ms", "-slo", "0.000001")
+	if code != ExitFailure {
+		t.Errorf("impossible SLO: exit %d (stderr: %s), want %d", code, stderr, ExitFailure)
 	}
 }
 

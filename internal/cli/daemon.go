@@ -1,13 +1,20 @@
 package cli
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"net/netip"
 	"strconv"
 	"strings"
+	"time"
 
 	"stamp/internal/netd"
+	"stamp/internal/obs"
+	"stamp/internal/serve"
 	"stamp/internal/topology"
 	"stamp/internal/wire"
 )
@@ -29,6 +36,7 @@ func (e env) cmdDaemon(args []string) int {
 		originate = fs.String("originate", "", "prefix to originate (optional)")
 		lock      = fs.Uint("lock", 0, "provider AS receiving the locked blue announcement")
 		accept    = fs.String("accept", "", "inbound peers: AS,rel pairs separated by ';'")
+		metrics   = fs.String("metrics", "", "serve /metrics, /healthz, and /events on this address (optional)")
 	)
 	var peers []peerFlag
 	fs.Func("peer", "outbound peer as addr,AS,rel (repeatable)", func(v string) error {
@@ -59,18 +67,37 @@ func (e env) cmdDaemon(args []string) int {
 	}
 
 	logger := log.New(e.stderr, "", log.LstdFlags)
+	reg := obs.NewRegistry()
+	wireMetrics := netd.NewMetrics(reg)
+	events := obs.NewEventLog(1024)
+	routeChanges := reg.Counter("stamp_daemon_route_changes_total",
+		"Best-route changes (including losses) observed by this daemon.")
 	sp := netd.NewSpeaker(netd.SpeakerConfig{
 		AS:       uint16(*asn),
 		RouterID: uint32(*id),
 		Color:    colorByte,
 		Logf:     logger.Printf,
+		Metrics:  wireMetrics,
 	})
+	// Route changes flow through the structured event log (streamed on
+	// /events when -metrics is set); the stderr line renders the same
+	// record so a bare daemon stays observable.
 	sp.OnChange = func(p wire.Prefix, best *wire.Attrs) {
-		if best == nil {
-			logger.Printf("route to %v lost", p)
-			return
+		routeChanges.Inc()
+		rec := daemonRouteChange{Prefix: p.String(), Lost: best == nil}
+		if best != nil {
+			for _, as := range best.ASPath {
+				rec.Path = append(rec.Path, int(as))
+			}
+			rec.Lock = best.Lock
 		}
-		logger.Printf("best route to %v: path %v lock=%v", p, best.ASPath, best.Lock)
+		data, _ := json.Marshal(rec)
+		detail := "route to " + rec.Prefix + " lost"
+		if best != nil {
+			detail = fmt.Sprintf("best route to %v: path %v lock=%v", p, best.ASPath, best.Lock)
+		}
+		events.Append("route-change", detail, data)
+		logger.Print(detail)
 	}
 
 	if *listen != "" {
@@ -102,11 +129,64 @@ func (e env) cmdDaemon(args []string) int {
 		logger.Printf("originating %v (lock provider AS%d)", pfx, *lock)
 	}
 
+	// The observability listener shares the serve layer's mux: the same
+	// /metrics, /healthz, and /events surface, scraped the same way.
+	var stopMetrics func()
+	if *metrics != "" {
+		closing := make(chan struct{})
+		mux := serve.ObsMux(serve.MuxConfig{
+			Registry: reg,
+			Events:   events,
+			Health: func() any {
+				return map[string]any{
+					"status": "ok", "as": *asn, "color": *color,
+					"sessions_up":   wireMetrics.SessionsUp.Value(),
+					"route_changes": routeChanges.Value(),
+				}
+			},
+			Closing: closing,
+		})
+		srv, addr, err := serveMux(mux, *metrics)
+		if err != nil {
+			return e.fail(err)
+		}
+		logger.Printf("metrics on http://%s/metrics", addr)
+		stopMetrics = func() {
+			close(closing)
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}
+	}
+
 	// Run until the process context (Ctrl-C / SIGTERM in cmd/stamp) is
 	// canceled, then close every session cleanly.
 	<-e.ctx.Done()
+	if stopMetrics != nil {
+		stopMetrics()
+	}
 	sp.Close()
 	return ExitOK
+}
+
+// serveMux binds addr and serves the mux in the background, returning
+// the server handle and the bound address.
+func serveMux(mux http.Handler, addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}
+
+// daemonRouteChange is the structured payload of a route-change event.
+type daemonRouteChange struct {
+	Prefix string `json:"prefix"`
+	Lost   bool   `json:"lost,omitempty"`
+	Path   []int  `json:"path,omitempty"`
+	Lock   bool   `json:"lock,omitempty"`
 }
 
 type peerFlag struct {

@@ -30,6 +30,8 @@ type requestFlags struct {
 	dests     *int
 	repeat    *int
 	topoSeeds *string
+	readers   *int
+	loadFor   *time.Duration
 	jsonOut   *bool
 	progress  *bool
 }
@@ -51,6 +53,8 @@ func addRequestFlags(fs *flag.FlagSet) *requestFlags {
 		dests:     fs.Int("dests", 0, "destination shards for atlas experiments (0 = default)"),
 		repeat:    fs.Int("repeat", 0, "script repeat cycles for stream experiments like atlas-replay (0 = once; needs a restore-balanced scenario)"),
 		topoSeeds: fs.String("topo-seeds", "1,2,3", "comma-separated topology seeds (sweep experiment)"),
+		readers:   fs.Int("readers", 0, "concurrent read clients for load experiments like serve-load (0 = default)"),
+		loadFor:   fs.Duration("load-for", 0, "measurement window for load experiments (0 = default)"),
 		jsonOut:   fs.Bool("json", false, "emit the result envelope as JSON on stdout"),
 		progress:  fs.Bool("progress", false, "report shard progress on stderr"),
 	}
@@ -82,6 +86,8 @@ func (f *requestFlags) request(e env, experiment string) (lab.Request, error) {
 		Dests:      *f.dests,
 		Repeat:     *f.repeat,
 		TopoSeeds:  seeds,
+		Readers:    *f.readers,
+		LoadFor:    *f.loadFor,
 		Progress:   e.progressFn(*f.progress),
 		Context:    e.ctx,
 	}, nil

@@ -1,0 +1,157 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"time"
+
+	"stamp/internal/atlas"
+	"stamp/internal/scenario"
+	"stamp/internal/serve"
+	"stamp/internal/topology"
+)
+
+// cmdServe is `stamp serve`: the always-on service mode. It converges
+// an atlas fixpoint over the topology, then serves concurrent reads —
+// Prometheus /metrics, the /events SSE stream, snapshot-isolated
+// /state reads — while scenario events arrive from the paced -replay
+// loop or from POST /admin/event. With -swarm N it instead runs the
+// built-in read-load harness against itself and reports the
+// client-observed latency quantiles (the -slo gate for CI).
+func (e env) cmdServe(args []string) int {
+	fs := e.flagSet("stamp serve")
+	var (
+		topo     = fs.String("topo", "", "CAIDA AS-rel snapshot to serve (generates with -n when empty)")
+		n        = fs.Int("n", 10000, "generated topology size (ASes) when -topo is empty")
+		seed     = fs.Int64("seed", 1, "master random seed (workload draw + destination sample)")
+		scen     = fs.String("scenario", "flap-storm", "replay workload: "+scenarioNames())
+		dests    = fs.Int("dests", 0, "destination shards to serve (0 = default)")
+		workers  = fs.Int("workers", 0, "convergence pool size (0 = one per CPU)")
+		repeat   = fs.Int("repeat", 0, "replay cycles (0 = endless; needs a restore-balanced scenario)")
+		addr     = fs.String("addr", "127.0.0.1:8465", "HTTP listen address")
+		rate     = fs.Float64("rate", 50, "replay pacing in events/s")
+		replay   = fs.Bool("replay", false, "run the paced replay loop (otherwise events arrive only via POST /admin/event)")
+		swarm    = fs.Int("swarm", 0, "run the read-load harness with this many concurrent readers, then exit")
+		duration = fs.Duration("duration", 10*time.Second, "swarm load duration")
+		slo      = fs.Float64("slo", 0, "fail (exit 1) when the swarm read p99 exceeds this many milliseconds (0 = no gate)")
+		jsonOut  = fs.Bool("json", false, "emit the swarm report as JSON on stdout")
+	)
+	if code, done := parse(fs, args); done {
+		return code
+	}
+	kind, err := scenario.ParseKind(*scen)
+	if err != nil {
+		fmt.Fprintln(e.stderr, "stamp serve:", err)
+		return ExitUsage
+	}
+	if *rate <= 0 {
+		fmt.Fprintln(e.stderr, "stamp serve: -rate must be positive")
+		return ExitUsage
+	}
+
+	var g *atlas.Graph
+	if *topo != "" {
+		g, err = atlas.IngestFile(*topo)
+	} else {
+		var tg *topology.Graph
+		if tg, err = topology.GenerateDefault(*n, *seed); err == nil {
+			g, err = atlas.FromTopology(tg)
+		}
+	}
+	if err != nil {
+		return e.fail(err)
+	}
+
+	logger := log.New(e.stderr, "", log.LstdFlags)
+	cfg := serve.Config{
+		Graph:    g,
+		Scenario: kind,
+		Dests:    *dests,
+		Seed:     *seed,
+		Workers:  *workers,
+		Repeat:   *repeat,
+		Interval: time.Duration(float64(time.Second) / *rate),
+		Logf:     logger.Printf,
+	}
+	if !*replay {
+		// Admin-only mode never cycles the script, so any scenario —
+		// including non-repeatable ones — is servable.
+		cfg.Repeat = 1
+	}
+	s, err := serve.New(cfg)
+	if err != nil {
+		return e.fail(err)
+	}
+	bound, err := s.Start(*addr)
+	if err != nil {
+		return e.fail(err)
+	}
+	drain := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(e.ctx)
+	defer cancel()
+	replayErr := make(chan error, 1)
+	if *replay {
+		go func() { replayErr <- s.Run(ctx) }()
+	}
+
+	if *swarm > 0 {
+		rep, err := serve.RunSwarm(ctx, serve.SwarmOptions{
+			BaseURL:  "http://" + bound,
+			Readers:  *swarm,
+			Duration: *duration,
+			Seed:     *seed,
+		})
+		cancel()
+		drain()
+		if err != nil {
+			return e.fail(err)
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(e.stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				return e.fail(err)
+			}
+		} else {
+			rep.Print(e.stdout)
+		}
+		if !rep.CountersMonotonic {
+			fmt.Fprintf(e.stderr, "stamp serve: counters regressed between scrapes: %v\n", rep.NonMonotonic)
+			return ExitFailure
+		}
+		if *slo > 0 && rep.ReadP99Ms > *slo {
+			fmt.Fprintf(e.stderr, "stamp serve: read p99 %.3f ms exceeds the %.3f ms SLO\n", rep.ReadP99Ms, *slo)
+			return ExitFailure
+		}
+		return ExitOK
+	}
+
+	// Service mode: run until Ctrl-C / SIGTERM, then drain in-flight
+	// requests. A finite replay that completes keeps serving reads; a
+	// replay error tears the service down.
+	for {
+		select {
+		case <-e.ctx.Done():
+			logger.Printf("shutting down")
+			drain()
+			return ExitOK
+		case err := <-replayErr:
+			if err != nil && ctx.Err() == nil {
+				drain()
+				return e.fail(err)
+			}
+			if err == nil {
+				logger.Printf("replay complete; still serving reads (Ctrl-C to exit)")
+			}
+		}
+	}
+}

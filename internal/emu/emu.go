@@ -50,6 +50,9 @@ type Options struct {
 	BootTimeout time.Duration
 	// Logf, when non-nil, receives diagnostic lines.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, streams fleet activity (sessions up, UPDATE
+	// volume, in-flight) into an obs registry.
+	Metrics *Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -272,10 +275,12 @@ func (fn fabricNet) Send(from, to topology.ASN, payload any) {
 	ep := r.eps[epKey{to, m.Color}]
 	if ep == nil || !ep.push(encodeMsg(m)) {
 		fn.f.dropped.Add(1)
+		fn.f.opts.Metrics.dropped(1)
 		fn.f.bump()
 		return
 	}
 	fn.f.inFlight.Add(1)
+	fn.f.syncInFlight()
 	fn.f.bump()
 }
 
@@ -385,6 +390,7 @@ func (f *Fabric) mkEndpoint(r *router, nbr topology.ASN, color bgp.Color, conn n
 		RouterID:      uint32(r.as) + 1,
 		Color:         byte(color),
 		HoldTime:      f.opts.HoldTime,
+		Metrics:       f.opts.Metrics.wire(),
 		OnEstablished: func(*netd.Session) { close(ep.est) },
 		OnUpdate:      func(_ *netd.Session, u *wire.Update) { f.inbound(ep, u) },
 	}, conn)
@@ -422,10 +428,13 @@ func (f *Fabric) runWriter(ep *endpoint) {
 		if err := ep.sess.SendUpdate(u); err != nil {
 			f.inFlight.Add(-1)
 			f.dropped.Add(1)
+			f.opts.Metrics.dropped(1)
+			f.syncInFlight()
 			f.bump()
 			return
 		}
 		f.updatesSent.Add(1)
+		f.opts.Metrics.sent()
 		f.bump()
 	}
 }
@@ -441,6 +450,8 @@ func (f *Fabric) discard(ep *endpoint) {
 	if n > 0 {
 		f.inFlight.Add(int64(-n))
 		f.dropped.Add(int64(n))
+		f.opts.Metrics.dropped(int64(n))
+		f.syncInFlight()
 		f.bump()
 	}
 }
@@ -457,6 +468,7 @@ func (f *Fabric) inbound(ep *endpoint, u *wire.Update) {
 		r.mu.Unlock()
 	}
 	f.inFlight.Add(-1)
+	f.syncInFlight()
 	f.bump()
 }
 

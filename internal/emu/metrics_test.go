@@ -1,0 +1,49 @@
+package emu
+
+import (
+	"testing"
+
+	"stamp/internal/obs"
+	"stamp/internal/scenario"
+)
+
+// TestFleetMetrics boots a tiny instrumented fleet and checks that the
+// registry saw session establishment and UPDATE traffic, and that the
+// sessions gauge drains back to zero on Close.
+func TestFleetMetrics(t *testing.T) {
+	g := rigGraph(t)
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	f, err := New(Options{Graph: g, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	f.Originate(5)
+	if err := f.RunScript(scenario.Script{Name: "none", Dest: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WaitConverged(); err != nil {
+		t.Fatal(err)
+	}
+	// 2 colors × 2 endpoints per link.
+	wantSessions := int64(4 * g.EdgeCount())
+	if got := m.Wire.SessionsUp.Value(); got != wantSessions {
+		t.Errorf("sessions up = %d, want %d", got, wantSessions)
+	}
+	if m.UpdatesSent.Value() == 0 {
+		t.Error("no UPDATEs counted during convergence")
+	}
+	if m.Wire.UpdatesIn.Value() == 0 || m.Wire.UpdatesOut.Value() == 0 {
+		t.Error("wire-level update counters stayed zero")
+	}
+	if m.Wire.MsgsIn.Value() < m.Wire.UpdatesIn.Value() {
+		t.Error("message counter below update counter")
+	}
+	f.Close()
+	if got := m.Wire.SessionsUp.Value(); got != 0 {
+		t.Errorf("sessions up after Close = %d, want 0", got)
+	}
+}

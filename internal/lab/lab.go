@@ -88,6 +88,12 @@ type Request struct {
 	// TopoSeeds are the sweep experiment's topology generator seeds
 	// (nil: {1, 2, 3}).
 	TopoSeeds []int64
+	// Readers is the concurrent-client count for load experiments
+	// (serve-load); <= 0 means the experiment default.
+	Readers int
+	// LoadFor bounds a load experiment's measurement window (0: the
+	// experiment default).
+	LoadFor time.Duration
 	// QuietWindow and ConvergeTimeout override the emu fleet's
 	// quiescence window and convergence timeout (0: emu defaults).
 	QuietWindow     time.Duration

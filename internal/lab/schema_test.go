@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 )
 
 // -update regenerates the golden schema files instead of comparing.
@@ -42,6 +43,7 @@ func schemaRequests() map[string]Request {
 		"atlas-converge":      {Experiment: "atlas-converge", Topo: TopoSpec{N: 200}, Dests: 4},
 		"atlas-loss":          {Experiment: "atlas-loss", Topo: TopoSpec{N: 200}, Dests: 4},
 		"atlas-replay":        {Experiment: "atlas-replay", Topo: TopoSpec{N: 200}, Dests: 4, Repeat: 2},
+		"serve-load":          {Experiment: "serve-load", Topo: TopoSpec{N: 300}, Dests: 4, Readers: 4, LoadFor: 500 * time.Millisecond},
 	}
 	return reqs
 }

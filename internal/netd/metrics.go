@@ -1,0 +1,71 @@
+package netd
+
+import (
+	"stamp/internal/obs"
+	"stamp/internal/wire"
+)
+
+// Metrics is the wire layer's handle set into an obs.Registry: session
+// liveness and message volume. A nil *Metrics is valid everywhere (the
+// helpers below are nil-receiver-safe), so sessions without observability
+// pay a single pointer test per hook.
+type Metrics struct {
+	// SessionsUp is the number of sessions currently Established.
+	SessionsUp *obs.Gauge
+	// MsgsIn / MsgsOut count every framed message received and sent
+	// (OPEN, KEEPALIVE, UPDATE, NOTIFICATION).
+	MsgsIn  *obs.Counter
+	MsgsOut *obs.Counter
+	// UpdatesIn / UpdatesOut count UPDATE messages specifically — the
+	// routing churn the paper's convergence story is about.
+	UpdatesIn  *obs.Counter
+	UpdatesOut *obs.Counter
+}
+
+// NewMetrics registers the wire layer's metric families on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		SessionsUp: reg.Gauge("stamp_netd_sessions_up",
+			"Sessions currently in the Established state."),
+		MsgsIn: reg.Counter("stamp_netd_messages_in_total",
+			"Framed protocol messages received."),
+		MsgsOut: reg.Counter("stamp_netd_messages_out_total",
+			"Framed protocol messages sent."),
+		UpdatesIn: reg.Counter("stamp_netd_updates_in_total",
+			"UPDATE messages received."),
+		UpdatesOut: reg.Counter("stamp_netd_updates_out_total",
+			"UPDATE messages sent."),
+	}
+}
+
+func (m *Metrics) msgIn(msg wire.Message) {
+	if m == nil {
+		return
+	}
+	m.MsgsIn.Inc()
+	if _, ok := msg.(*wire.Update); ok {
+		m.UpdatesIn.Inc()
+	}
+}
+
+func (m *Metrics) msgOut(msg wire.Message) {
+	if m == nil {
+		return
+	}
+	m.MsgsOut.Inc()
+	if _, ok := msg.(*wire.Update); ok {
+		m.UpdatesOut.Inc()
+	}
+}
+
+func (m *Metrics) sessionUp() {
+	if m != nil {
+		m.SessionsUp.Inc()
+	}
+}
+
+func (m *Metrics) sessionDown() {
+	if m != nil {
+		m.SessionsUp.Dec()
+	}
+}

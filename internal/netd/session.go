@@ -73,6 +73,9 @@ type SessionConfig struct {
 	// OnClose fires once when the session dies; err may be nil on clean
 	// shutdown.
 	OnClose func(s *Session, err error)
+	// Metrics, when non-nil, streams session liveness and message volume
+	// into an obs registry.
+	Metrics *Metrics
 }
 
 // Session is one BGP session over a net.Conn.
@@ -263,9 +266,13 @@ func (s *Session) shutdown(err error) {
 		return
 	}
 	s.closed = true
+	wasUp := s.state == StateEstablished
 	s.state = StateClosed
 	s.lastErr = err
 	s.mu.Unlock()
+	if wasUp {
+		s.cfg.Metrics.sessionDown()
+	}
 	_ = s.conn.Close()
 	close(s.done)
 	if s.cfg.OnClose != nil {
@@ -277,6 +284,9 @@ func (s *Session) setState(st SessionState) {
 	s.mu.Lock()
 	s.state = st
 	s.mu.Unlock()
+	if st == StateEstablished {
+		s.cfg.Metrics.sessionUp()
+	}
 }
 
 // write frames and sends one message.
@@ -290,7 +300,11 @@ func (s *Session) write(m wire.Message) error {
 	if _, err := s.bw.Write(b); err != nil {
 		return err
 	}
-	return s.bw.Flush()
+	if err := s.bw.Flush(); err != nil {
+		return err
+	}
+	s.cfg.Metrics.msgOut(m)
+	return nil
 }
 
 // read blocks for one complete framed message.
@@ -308,5 +322,9 @@ func (s *Session) read() (wire.Message, error) {
 	if _, err := io.ReadFull(s.conn, full[wire.HeaderLen:]); err != nil {
 		return nil, err
 	}
-	return wire.Unmarshal(full)
+	msg, err := wire.Unmarshal(full)
+	if err == nil {
+		s.cfg.Metrics.msgIn(msg)
+	}
+	return msg, err
 }

@@ -24,6 +24,9 @@ type SpeakerConfig struct {
 	HoldTime time.Duration
 	// Logf, when non-nil, receives diagnostic lines.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, is installed on every session the speaker
+	// creates.
+	Metrics *Metrics
 }
 
 // route is one RIB entry.
@@ -148,6 +151,7 @@ func (sp *Speaker) serve(conn net.Conn, expect map[uint16]Rel) {
 		RouterID: sp.cfg.RouterID,
 		Color:    sp.cfg.Color,
 		HoldTime: sp.cfg.HoldTime,
+		Metrics:  sp.cfg.Metrics,
 		OnEstablished: func(s *Session) {
 			peerAS := s.Peer().AS
 			rel, ok := expect[peerAS]
@@ -191,6 +195,7 @@ func (sp *Speaker) Dial(addr string, peerAS uint16, rel Rel) error {
 		RouterID: sp.cfg.RouterID,
 		Color:    sp.cfg.Color,
 		HoldTime: sp.cfg.HoldTime,
+		Metrics:  sp.cfg.Metrics,
 		OnEstablished: func(s *Session) {
 			pc = &peerConn{sess: s, as: peerAS, rel: rel}
 			sp.addPeer(pc)

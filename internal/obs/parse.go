@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition series: a member name (histogram
+// members keep their _bucket/_sum/_count suffix), its label set, and the
+// value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Key canonicalizes the sample's identity: name plus sorted
+// label="value" pairs — the form Scrape.Value looks up and the
+// monotonicity checker diffs on.
+func (s Sample) Key() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	names := make([]string, 0, len(s.Labels))
+	for n := range s.Labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", n, s.Labels[n])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Scrape is one parsed /metrics payload.
+type Scrape struct {
+	// Types maps family name to its TYPE (counter, gauge, histogram).
+	Types map[string]string
+	// Samples holds every series in document order.
+	Samples []Sample
+
+	byKey map[string]float64
+}
+
+// Value looks a series up by name and k,v label pairs.
+func (sc *Scrape) Value(name string, labelPairs ...string) (float64, bool) {
+	if len(labelPairs)%2 != 0 {
+		panic("obs: Value wants name, k1, v1, k2, v2, ...")
+	}
+	s := Sample{Name: name, Labels: map[string]string{}}
+	for i := 0; i < len(labelPairs); i += 2 {
+		s.Labels[labelPairs[i]] = labelPairs[i+1]
+	}
+	v, ok := sc.byKey[s.Key()]
+	return v, ok
+}
+
+// CounterKeys returns the keys of every sample that must be monotonic
+// across scrapes of one process: series of counter families, and the
+// _bucket/_count members of histogram families.
+func (sc *Scrape) CounterKeys() []string {
+	var out []string
+	for _, s := range sc.Samples {
+		base := s.Name
+		monotone := sc.Types[base] == "counter"
+		if !monotone {
+			for _, suffix := range []string{"_bucket", "_count"} {
+				if strings.HasSuffix(base, suffix) && sc.Types[strings.TrimSuffix(base, suffix)] == "histogram" {
+					monotone = true
+					break
+				}
+			}
+		}
+		if monotone {
+			out = append(out, s.Key())
+		}
+	}
+	return out
+}
+
+// NonMonotonic compares an earlier scrape against this one and returns
+// the keys of counter-family series that decreased or disappeared — the
+// CI invariant that two scrapes of a live process never go backwards.
+func (sc *Scrape) NonMonotonic(later *Scrape) []string {
+	var bad []string
+	for _, key := range sc.CounterKeys() {
+		cur, ok := later.byKey[key]
+		if !ok || cur < sc.byKey[key] {
+			bad = append(bad, key)
+		}
+	}
+	return bad
+}
+
+// ParseText parses a Prometheus text-format exposition — the inverse of
+// Registry.WriteText, used by the round-trip test, the swarm harness's
+// scrape checks, and CI's monotonicity assertion. It understands the
+// subset WriteText emits (HELP/TYPE comments, optional label sets,
+// escaped label values, +Inf) and rejects anything malformed.
+func ParseText(r io.Reader) (*Scrape, error) {
+	sc := &Scrape{Types: map[string]string{}, byKey: map[string]float64{}}
+	scan := bufio.NewScanner(r)
+	scan.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for scan.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scan.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				sc.Types[fields[2]] = strings.TrimSpace(fields[3])
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		sc.Samples = append(sc.Samples, s)
+		sc.byKey[s.Key()] = s.Value
+	}
+	if err := scan.Err(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// parseSample parses `name{l="v",...} value`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if !validName(s.Name) {
+		return s, fmt.Errorf("bad metric name in %q", line)
+	}
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp after the value is legal in the format; WriteText never
+	// emits one but tolerate it.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q in %q", rest, line)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes a {name="value",...} block, handling escapes.
+func parseLabels(in string) (map[string]string, string, error) {
+	labels := map[string]string{}
+	i := 1 // past '{'
+	for {
+		if i >= len(in) {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if in[i] == '}' {
+			return labels, in[i+1:], nil
+		}
+		j := strings.IndexByte(in[i:], '=')
+		if j < 0 {
+			return nil, "", fmt.Errorf("missing '=' in label set")
+		}
+		name := in[i : i+j]
+		if !validName(name) && name != "le" {
+			return nil, "", fmt.Errorf("bad label name %q", name)
+		}
+		i += j + 1
+		if i >= len(in) || in[i] != '"' {
+			return nil, "", fmt.Errorf("unquoted label value")
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(in) {
+				return nil, "", fmt.Errorf("unterminated label value")
+			}
+			c := in[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(in) {
+					return nil, "", fmt.Errorf("dangling escape")
+				}
+				switch in[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("unknown escape \\%c", in[i+1])
+				}
+				i += 2
+				continue
+			}
+			b.WriteByte(c)
+			i++
+		}
+		labels[name] = b.String()
+		if i < len(in) && in[i] == ',' {
+			i++
+		}
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,30 @@
+package runner
+
+import "stamp/internal/obs"
+
+// Metrics is the pool's handle set into an obs.Registry. Attach via
+// Options.Metrics; all hooks are atomic ops on resolved handles, so the
+// pool's dispatch overhead stays negligible and allocation-free.
+type Metrics struct {
+	// TrialsStarted / TrialsDone count dispatched and completed trials.
+	TrialsStarted *obs.Counter
+	TrialsDone    *obs.Counter
+	// InFlight is the number of trials currently executing.
+	InFlight *obs.Gauge
+	// Workers is the pool size of the most recent run.
+	Workers *obs.Gauge
+}
+
+// NewMetrics registers the pool's metric families on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		TrialsStarted: reg.Counter("stamp_runner_trials_started_total",
+			"Trials dispatched to the worker pool."),
+		TrialsDone: reg.Counter("stamp_runner_trials_done_total",
+			"Trials completed successfully."),
+		InFlight: reg.Gauge("stamp_runner_trials_inflight",
+			"Trials currently executing."),
+		Workers: reg.Gauge("stamp_runner_workers",
+			"Worker pool size of the most recent run."),
+	}
+}

@@ -1,0 +1,41 @@
+package runner
+
+import (
+	"errors"
+	"testing"
+
+	"stamp/internal/obs"
+)
+
+func TestPoolMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	spec := Spec[int]{
+		Name:   "metrics",
+		Trials: 20,
+		Seed:   1,
+		Run: func(tr Trial) (int, error) {
+			if tr.Index == 13 {
+				return 0, errors.New("boom")
+			}
+			return tr.Index, nil
+		},
+	}
+	_, err := Run(spec, Options{Workers: 1, Metrics: m})
+	if err == nil {
+		t.Fatal("want trial error")
+	}
+	// Single worker dispatches in index order: trials 0..13 start, 13 fails.
+	if got := m.TrialsStarted.Value(); got != 14 {
+		t.Errorf("trials started = %d, want 14", got)
+	}
+	if got := m.TrialsDone.Value(); got != 13 {
+		t.Errorf("trials done = %d, want 13", got)
+	}
+	if got := m.InFlight.Value(); got != 0 {
+		t.Errorf("in-flight after run = %d, want 0", got)
+	}
+	if got := m.Workers.Value(); got != 1 {
+		t.Errorf("workers = %d, want 1", got)
+	}
+}

@@ -68,6 +68,9 @@ type Options struct {
 	// done, every trial sees it as Trial.Ctx, and Run/Fold return its
 	// error. nil means context.Background().
 	Context context.Context
+	// Metrics, when non-nil, streams pool activity (trials started/done,
+	// in-flight, worker count) into an obs registry.
+	Metrics *Metrics
 }
 
 func (o Options) context() context.Context {
@@ -154,6 +157,9 @@ func dispatch[T any](name string, trials int, seed int64, opts Options,
 		errIdx   = trials
 		done     int
 	)
+	if m := opts.Metrics; m != nil {
+		m.Workers.Set(int64(opts.workers(trials)))
+	}
 	for w := 0; w < opts.workers(trials); w++ {
 		wg.Add(1)
 		go func() {
@@ -164,7 +170,17 @@ func dispatch[T any](name string, trials int, seed int64, opts Options,
 					return
 				}
 				t := Trial{Index: i, Seed: DeriveSeed(seed, int64(i)), Ctx: ctx}
+				if m := opts.Metrics; m != nil {
+					m.TrialsStarted.Inc()
+					m.InFlight.Inc()
+				}
 				v, err := run(t)
+				if m := opts.Metrics; m != nil {
+					m.InFlight.Dec()
+					if err == nil {
+						m.TrialsDone.Inc()
+					}
+				}
 				mu.Lock()
 				if err != nil {
 					if i < errIdx {

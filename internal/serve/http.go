@@ -1,0 +1,368 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"stamp/internal/atlas"
+	"stamp/internal/obs"
+	"stamp/internal/scenario"
+	"stamp/internal/topology"
+)
+
+// MuxConfig assembles the shared observability surface — /metrics,
+// /healthz, and (when an event log is supplied) the /events SSE stream.
+// The serve server mounts it under its state endpoints; the daemon's
+// -metrics listener reuses it standalone.
+type MuxConfig struct {
+	// Registry backs /metrics (required).
+	Registry *obs.Registry
+	// Events backs /events; nil omits the endpoint.
+	Events *obs.EventLog
+	// Health produces the /healthz JSON payload; nil serves {"status":"ok"}.
+	Health func() any
+	// Closing, when non-nil, terminates open SSE streams on shutdown so
+	// http.Server.Shutdown can drain.
+	Closing <-chan struct{}
+	// SSEClients, when non-nil, tracks connected /events streams.
+	SSEClients *obs.Gauge
+}
+
+// ObsMux builds the shared observability mux from its config.
+func ObsMux(c MuxConfig) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", c.Registry.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if c.Health != nil {
+			writeJSON(w, http.StatusOK, c.Health())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	if c.Events != nil {
+		mux.HandleFunc("GET /events", sseHandler(c))
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// sseHandler streams the event log as server-sent events. Each event is
+// an `id:`/`event:`/`data:` frame; ?from=<seq> resumes after a known
+// sequence number (older entries may have been evicted from the ring —
+// the `id:` lines tell the client what it actually got).
+func sseHandler(c MuxConfig) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		after := uint64(0)
+		if s := r.URL.Query().Get("from"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad from= sequence", http.StatusBadRequest)
+				return
+			}
+			after = v
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+		if c.SSEClients != nil {
+			c.SSEClients.Add(1)
+			defer c.SSEClients.Add(-1)
+		}
+		ctx := r.Context()
+		if c.Closing != nil {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithCancel(ctx)
+			defer cancel()
+			go func() {
+				select {
+				case <-c.Closing:
+					cancel()
+				case <-ctx.Done():
+				}
+			}()
+		}
+		for {
+			evs := c.Events.Since(after)
+			for _, ev := range evs {
+				after = ev.Seq
+				payload, err := json.Marshal(ev)
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, payload)
+			}
+			if len(evs) > 0 {
+				fl.Flush()
+			}
+			if !c.Events.Wait(ctx, after) {
+				return
+			}
+		}
+	}
+}
+
+// httpErr carries a status code through a read handler's error return.
+type httpErr struct {
+	code int
+	msg  string
+}
+
+func (e *httpErr) Error() string { return e.msg }
+
+func errf(code int, format string, args ...any) error {
+	return &httpErr{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// Handler assembles the server's full HTTP surface: the shared
+// observability mux plus the snapshot-isolated state reads and the
+// admin event injector.
+func (s *Server) Handler() http.Handler {
+	mux := ObsMux(MuxConfig{
+		Registry:   s.reg,
+		Events:     s.events,
+		Health:     s.health,
+		Closing:    s.web.closing,
+		SSEClients: s.metrics.sseClients,
+	})
+	mux.HandleFunc("GET /state", s.read(s.handleStateIndex))
+	mux.HandleFunc("GET /state/{dest}", s.read(s.handleStateRead))
+	mux.HandleFunc("POST /admin/event", s.handleAdminEvent)
+	return mux
+}
+
+func (s *Server) health() any {
+	return map[string]any{
+		"status":         "ok",
+		"epoch":          s.epoch.Load(),
+		"events_applied": s.eventsApplied.Load(),
+		"dests":          len(s.shards),
+		"ases":           s.g.Len(),
+		"scenario":       s.cfg.Scenario.String(),
+		"uptime_s":       time.Since(s.started).Seconds(),
+	}
+}
+
+// read instruments a state read: latency histogram, totals, in-flight
+// gauge, and JSON error rendering for handler-returned httpErrs.
+func (s *Server) read(h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.inFlight.Add(1)
+		err := h(w, r)
+		s.metrics.inFlight.Add(-1)
+		s.metrics.readSeconds.Observe(time.Since(start).Seconds())
+		s.metrics.readsTotal.Inc()
+		if err != nil {
+			s.metrics.readErrors.Inc()
+			code := http.StatusInternalServerError
+			var he *httpErr
+			if errors.As(err, &he) {
+				code = he.code
+			}
+			writeJSON(w, code, map[string]string{"error": err.Error()})
+		}
+	}
+}
+
+// StateIndex is the GET /state payload: the served destinations.
+type StateIndex struct {
+	Epoch uint64  `json:"epoch"`
+	Dests []int64 `json:"dests"`
+}
+
+func (s *Server) handleStateIndex(w http.ResponseWriter, r *http.Request) error {
+	idx := StateIndex{Epoch: s.epoch.Load(), Dests: make([]int64, len(s.shards))}
+	for i, sh := range s.shards {
+		idx.Dests[i] = s.g.OriginalASN(sh.dest)
+	}
+	writeJSON(w, http.StatusOK, idx)
+	return nil
+}
+
+// PlaneRoute is one plane's route toward the destination from a given
+// AS, as read from a published snapshot.
+type PlaneRoute struct {
+	Plane string `json:"plane"`
+	Kind  string `json:"kind"`
+	Dist  int32  `json:"dist"`
+	// Next is the next-hop AS (original number); 0 for the origin
+	// itself and for routeless ASes.
+	Next int64 `json:"next,omitempty"`
+}
+
+// StateRead is the GET /state/{dest}?as=N payload: the snapshot-epoch
+// routes from one AS toward one destination across all three planes.
+type StateRead struct {
+	Dest   int64        `json:"dest"`
+	AS     int64        `json:"as"`
+	Epoch  uint64       `json:"epoch"`
+	Planes []PlaneRoute `json:"planes"`
+}
+
+// StateSummary is the GET /state/{dest} payload (no ?as=): per-plane
+// reachability of the destination at the snapshot epoch.
+type StateSummary struct {
+	Dest             int64            `json:"dest"`
+	Epoch            uint64           `json:"epoch"`
+	ASes             int              `json:"ases"`
+	Reachable        map[string]int32 `json:"reachable"`
+	StampUnreachable int32            `json:"stamp_unreachable"`
+}
+
+var planeNames = [atlas.PlaneCount]string{"bgp", "red", "blue"}
+
+func (s *Server) handleStateRead(w http.ResponseWriter, r *http.Request) error {
+	destASN, err := strconv.ParseInt(r.PathValue("dest"), 10, 64)
+	if err != nil {
+		return errf(http.StatusBadRequest, "bad destination %q", r.PathValue("dest"))
+	}
+	i, ok := s.destIdx[destASN]
+	if !ok {
+		return errf(http.StatusNotFound, "destination AS %d is not served (see /state)", destASN)
+	}
+	sh := s.shards[i]
+
+	asParam := r.URL.Query().Get("as")
+	if asParam == "" {
+		// Summary read: per-plane reachability at the published epoch.
+		snap := sh.acquire()
+		sum := StateSummary{
+			Dest:             snap.destASN,
+			Epoch:            snap.epoch,
+			ASes:             s.g.Len(),
+			Reachable:        map[string]int32{},
+			StampUnreachable: snap.stampUnreachable,
+		}
+		for p := 0; p < atlas.PlaneCount; p++ {
+			sum.Reachable[planeNames[p]] = snap.reachable[p]
+		}
+		sh.release(snap)
+		writeJSON(w, http.StatusOK, sum)
+		return nil
+	}
+
+	asn, err := strconv.ParseInt(asParam, 10, 64)
+	if err != nil {
+		return errf(http.StatusBadRequest, "bad as=%q", asParam)
+	}
+	dense, ok := s.byASN[asn]
+	if !ok {
+		return errf(http.StatusNotFound, "unknown AS %d", asn)
+	}
+	// Extract under the snapshot pin, release before serialization.
+	snap := sh.acquire()
+	read := StateRead{Dest: snap.destASN, AS: asn, Epoch: snap.epoch,
+		Planes: make([]PlaneRoute, atlas.PlaneCount)}
+	for p := 0; p < atlas.PlaneCount; p++ {
+		pr := PlaneRoute{
+			Plane: planeNames[p],
+			Kind:  atlas.KindName(snap.kind[p][dense]),
+			Dist:  snap.dist[p][dense],
+		}
+		if next := snap.next[p][dense]; next >= 0 {
+			pr.Next = s.g.OriginalASN(topology.ASN(next))
+		}
+		read.Planes[p] = pr
+	}
+	sh.release(snap)
+	writeJSON(w, http.StatusOK, read)
+	return nil
+}
+
+// AdminEvent is the POST /admin/event request body. ASNs are original
+// (snapshot) numbers; op is fail-link, restore-link, or fail-node.
+type AdminEvent struct {
+	Op   string `json:"op"`
+	A    int64  `json:"a,omitempty"`
+	B    int64  `json:"b,omitempty"`
+	Node int64  `json:"node,omitempty"`
+}
+
+func parseOp(s string) (scenario.Op, error) {
+	switch s {
+	case scenario.OpFailLink.String():
+		return scenario.OpFailLink, nil
+	case scenario.OpRestoreLink.String():
+		return scenario.OpRestoreLink, nil
+	case scenario.OpFailNode.String():
+		return scenario.OpFailNode, nil
+	}
+	return 0, fmt.Errorf("unknown op %q (want fail-link, restore-link, or fail-node)", s)
+}
+
+func (s *Server) handleAdminEvent(w http.ResponseWriter, r *http.Request) {
+	var req AdminEvent
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
+		return
+	}
+	op, err := parseOp(req.Op)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	rec, err := s.applyByASN(op, req.A, req.B, req.Node)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// webState holds the HTTP listener lifecycle.
+type webState struct {
+	srv     *http.Server
+	closing chan struct{}
+	done    chan error
+}
+
+// Start binds addr and serves the HTTP surface in the background,
+// returning the bound address (useful with a :0 port).
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: bind %s: %w", addr, err)
+	}
+	s.web.closing = make(chan struct{})
+	s.web.srv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       time.Minute,
+	}
+	s.web.done = make(chan error, 1)
+	go func() { s.web.done <- s.web.srv.Serve(ln) }()
+	s.events.Append("listening", "http on "+ln.Addr().String(), nil)
+	s.logf("serve: listening on http://%s", ln.Addr())
+	return ln.Addr().String(), nil
+}
+
+// Shutdown terminates open event streams, then drains in-flight
+// requests and closes the listener.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.web.srv == nil {
+		return nil
+	}
+	close(s.web.closing)
+	err := s.web.srv.Shutdown(ctx)
+	<-s.web.done
+	return err
+}

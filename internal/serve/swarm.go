@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"stamp/internal/obs"
+	"stamp/internal/runner"
+)
+
+// SwarmOptions configures a read-load run against a live serve
+// endpoint.
+type SwarmOptions struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8465".
+	BaseURL string
+	// Readers is the number of concurrent point-read clients (<= 0: 16).
+	Readers int
+	// Duration bounds the load run (<= 0: 10 s).
+	Duration time.Duration
+	// Seed drives each reader's subject sequence.
+	Seed int64
+}
+
+// SwarmReport is the outcome of a swarm run: client-observed read
+// latency quantiles, scrape cost, and the monotonicity verdict from
+// comparing the first and last /metrics scrapes.
+type SwarmReport struct {
+	Readers      int     `json:"readers"`
+	Duration     float64 `json:"duration_s"`
+	Requests     int64   `json:"requests"`
+	Errors       int64   `json:"errors"`
+	ReadP50Ms    float64 `json:"read_p50_ms"`
+	ReadP99Ms    float64 `json:"read_p99_ms"`
+	ReadMaxMs    float64 `json:"read_max_ms"`
+	ReadsPerS    float64 `json:"reads_per_s"`
+	Scrapes      int     `json:"scrapes"`
+	ScrapeP50Ms  float64 `json:"scrape_p50_ms"`
+	ScrapeP99Ms  float64 `json:"scrape_p99_ms"`
+	ScrapeBytes  int64   `json:"scrape_bytes"`
+	ScrapeSeries int     `json:"scrape_series"`
+	// CountersMonotonic reports whether every counter sample in the
+	// first scrape was >= in the last; NonMonotonic lists violations.
+	CountersMonotonic bool     `json:"counters_monotonic"`
+	NonMonotonic      []string `json:"non_monotonic,omitempty"`
+	// EventsStreamed counts SSE frames the swarm's stream consumer saw,
+	// and EpochAdvance how far the snapshot epoch moved during the run.
+	EventsStreamed int64  `json:"events_streamed"`
+	EpochStart     uint64 `json:"epoch_start"`
+	EpochEnd       uint64 `json:"epoch_end"`
+}
+
+// swarmReader is one client's accumulated latencies.
+type swarmReader struct {
+	latencies []time.Duration
+	errors    int64
+}
+
+// RunSwarm hammers a live serve endpoint: Readers concurrent clients
+// issuing point reads (GET /state/{dest}?as=N over the served dest set),
+// one metrics scraper verifying counter monotonicity, and one SSE
+// consumer counting event frames. All load is client-observed — the
+// report's quantiles include HTTP round-trip cost, which is the SLO the
+// service mode promises.
+func RunSwarm(ctx context.Context, opts SwarmOptions) (*SwarmReport, error) {
+	if opts.Readers <= 0 {
+		opts.Readers = 16
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 10 * time.Second
+	}
+	base := strings.TrimRight(opts.BaseURL, "/")
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        opts.Readers + 4,
+			MaxIdleConnsPerHost: opts.Readers + 4,
+		},
+		Timeout: 10 * time.Second,
+	}
+	defer client.CloseIdleConnections()
+
+	// Discover the served destinations first — readers draw their
+	// (dest, subject) pairs from this set.
+	var idx StateIndex
+	if err := getJSON(ctx, client, base+"/state", &idx); err != nil {
+		return nil, fmt.Errorf("swarm: discover dests: %w", err)
+	}
+	if len(idx.Dests) == 0 {
+		return nil, fmt.Errorf("swarm: server serves no destinations")
+	}
+	var health struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := getJSON(ctx, client, base+"/healthz", &health); err != nil {
+		return nil, fmt.Errorf("swarm: healthz: %w", err)
+	}
+
+	rep := &SwarmReport{Readers: opts.Readers, EpochStart: health.Epoch}
+	loadCtx, cancel := context.WithTimeout(ctx, opts.Duration)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	readers := make([]swarmReader, opts.Readers)
+	for i := 0; i < opts.Readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(runner.DeriveSeed(opts.Seed, 3, int64(i))))
+			rd := &readers[i]
+			for loadCtx.Err() == nil {
+				dest := idx.Dests[rng.Intn(len(idx.Dests))]
+				subject := idx.Dests[rng.Intn(len(idx.Dests))]
+				url := fmt.Sprintf("%s/state/%d?as=%d", base, dest, subject)
+				start := time.Now()
+				var read StateRead
+				err := getJSON(loadCtx, client, url, &read)
+				if loadCtx.Err() != nil {
+					return // deadline hit mid-request; don't count it
+				}
+				if err != nil {
+					rd.errors++
+					continue
+				}
+				rd.latencies = append(rd.latencies, time.Since(start))
+			}
+		}(i)
+	}
+
+	// One scraper: parse every scrape, keep first and last for the
+	// monotonicity check.
+	var scrapeLat []time.Duration
+	var first, last *obs.Scrape
+	var scrapeBytes int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(250 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			start := time.Now()
+			sc, n, err := scrape(loadCtx, client, base+"/metrics")
+			if err == nil {
+				scrapeLat = append(scrapeLat, time.Since(start))
+				scrapeBytes = n
+				if first == nil {
+					first = sc
+				}
+				last = sc
+			}
+			select {
+			case <-loadCtx.Done():
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+
+	// One SSE consumer counting frames for the duration of the run.
+	var eventsStreamed int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		req, err := http.NewRequestWithContext(loadCtx, http.MethodGet, base+"/events", nil)
+		if err != nil {
+			return
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "data: ") {
+				eventsStreamed++
+			}
+		}
+	}()
+	wg.Wait()
+
+	if err := getJSON(ctx, client, base+"/healthz", &health); err != nil {
+		return nil, fmt.Errorf("swarm: final healthz: %w", err)
+	}
+	rep.EpochEnd = health.Epoch
+	rep.EventsStreamed = eventsStreamed
+	rep.Duration = opts.Duration.Seconds()
+
+	var all []time.Duration
+	for i := range readers {
+		all = append(all, readers[i].latencies...)
+		rep.Errors += readers[i].errors
+	}
+	rep.Requests = int64(len(all)) + rep.Errors
+	rep.ReadP50Ms = quantileMs(all, 0.50)
+	rep.ReadP99Ms = quantileMs(all, 0.99)
+	rep.ReadMaxMs = quantileMs(all, 1)
+	rep.ReadsPerS = float64(len(all)) / opts.Duration.Seconds()
+	rep.Scrapes = len(scrapeLat)
+	rep.ScrapeP50Ms = quantileMs(scrapeLat, 0.50)
+	rep.ScrapeP99Ms = quantileMs(scrapeLat, 0.99)
+	rep.ScrapeBytes = scrapeBytes
+	rep.CountersMonotonic = true
+	if first != nil && last != nil && first != last {
+		rep.ScrapeSeries = len(last.Samples)
+		rep.NonMonotonic = first.NonMonotonic(last)
+		rep.CountersMonotonic = len(rep.NonMonotonic) == 0
+	}
+	return rep, nil
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func scrape(ctx context.Context, client *http.Client, url string) (*obs.Scrape, int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, 0, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	sc, err := obs.ParseText(strings.NewReader(string(body)))
+	if err != nil {
+		return nil, 0, err
+	}
+	return sc, int64(len(body)), nil
+}
+
+// quantileMs returns the q-quantile of the sample set in milliseconds
+// (nearest-rank; q=1 is the max). Zero when empty.
+func quantileMs(d []time.Duration, q float64) float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(d))
+	copy(sorted, d)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i].Microseconds()) / 1000
+}
+
+// Print renders the swarm report as the CLI's text form.
+func (r *SwarmReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "serve swarm: %d readers × %.1fs — %d reads (%.0f/s), %d errors\n",
+		r.Readers, r.Duration, r.Requests, r.ReadsPerS, r.Errors)
+	fmt.Fprintf(w, "  read latency: p50 %.3f ms, p99 %.3f ms, max %.3f ms\n",
+		r.ReadP50Ms, r.ReadP99Ms, r.ReadMaxMs)
+	fmt.Fprintf(w, "  scrapes: %d (%d series, %d bytes), p50 %.3f ms, p99 %.3f ms\n",
+		r.Scrapes, r.ScrapeSeries, r.ScrapeBytes, r.ScrapeP50Ms, r.ScrapeP99Ms)
+	verdict := "monotonic"
+	if !r.CountersMonotonic {
+		verdict = fmt.Sprintf("NON-MONOTONIC: %v", r.NonMonotonic)
+	}
+	fmt.Fprintf(w, "  counters: %s; %d events streamed; epoch %d → %d\n",
+		verdict, r.EventsStreamed, r.EpochStart, r.EpochEnd)
+}

@@ -10,11 +10,18 @@
 // "metrics". Environment lines (goos/goarch/pkg/cpu) are carried in the
 // header. Exit is nonzero when no benchmark lines were found, so a CI
 // step cannot silently archive an empty run.
+//
+// Headline quantities additionally land under "summary" with STABLE
+// names (atlas_incremental_events_per_s, serve_read_p99_ms, …) so
+// trend tooling keys on fixed strings instead of parsing benchmark
+// names. -serve <path> merges a `stamp run serve-load -json` result
+// into the same summary.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -43,13 +50,30 @@ type Doc struct {
 	Pkg           string      `json:"pkg,omitempty"`
 	CPU           string      `json:"cpu,omitempty"`
 	Benchmarks    []Benchmark `json:"benchmarks"`
+	// Summary carries headline quantities under stable names, so trend
+	// dashboards key on fixed strings across benchmark renames.
+	Summary map[string]float64 `json:"summary,omitempty"`
 }
 
 func main() {
+	servePath := flag.String("serve", "", "merge a `stamp run serve-load -json` result file into the summary")
+	flag.Parse()
 	doc, err := Parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	Summarize(doc)
+	if *servePath != "" {
+		raw, err := os.ReadFile(*servePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if err := MergeServe(doc, raw); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -57,6 +81,79 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// Summarize lifts headline quantities from known benchmarks into the
+// stable-name summary. Missing benchmarks simply contribute nothing.
+func Summarize(doc *Doc) {
+	set := func(name string, v float64) {
+		if doc.Summary == nil {
+			doc.Summary = make(map[string]float64)
+		}
+		doc.Summary[name] = v
+	}
+	var incNs, scratchNs float64
+	for _, b := range doc.Benchmarks {
+		// Strip the -<GOMAXPROCS> suffix go test appends.
+		name := b.Name
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		switch name {
+		case "BenchmarkAtlasIncremental/incremental":
+			incNs = b.NsPerOp
+			set("atlas_incremental_ns_per_event", b.NsPerOp)
+			if v, ok := b.Metrics["events/s"]; ok {
+				set("atlas_incremental_events_per_s", v)
+			}
+			if b.AllocsPerOp != nil {
+				set("atlas_incremental_allocs_per_event", *b.AllocsPerOp)
+			}
+		case "BenchmarkAtlasIncremental/scratch":
+			scratchNs = b.NsPerOp
+			set("atlas_scratch_ns_per_event", b.NsPerOp)
+		}
+	}
+	if incNs > 0 && scratchNs > 0 {
+		set("atlas_scratch_over_incremental", scratchNs/incNs)
+	}
+}
+
+// MergeServe folds a serve-load lab result (the `stamp run serve-load
+// -json` envelope) into the summary under stable serve_* names.
+func MergeServe(doc *Doc, raw []byte) error {
+	var envelope struct {
+		Experiment string `json:"experiment"`
+		Data       struct {
+			Readers        float64 `json:"readers"`
+			ReadsPerS      float64 `json:"reads_per_s"`
+			ReadP50Ms      float64 `json:"read_p50_ms"`
+			ReadP99Ms      float64 `json:"read_p99_ms"`
+			ScrapeP99Ms    float64 `json:"scrape_p99_ms"`
+			ScrapeBytes    float64 `json:"scrape_bytes"`
+			EventsStreamed float64 `json:"events_streamed"`
+		} `json:"data"`
+	}
+	if err := json.Unmarshal(raw, &envelope); err != nil {
+		return fmt.Errorf("serve result: %w", err)
+	}
+	if envelope.Experiment != "serve-load" {
+		return fmt.Errorf("serve result: experiment %q, want serve-load", envelope.Experiment)
+	}
+	if doc.Summary == nil {
+		doc.Summary = make(map[string]float64)
+	}
+	d := envelope.Data
+	doc.Summary["serve_readers"] = d.Readers
+	doc.Summary["serve_reads_per_s"] = d.ReadsPerS
+	doc.Summary["serve_read_p50_ms"] = d.ReadP50Ms
+	doc.Summary["serve_read_p99_ms"] = d.ReadP99Ms
+	doc.Summary["serve_scrape_p99_ms"] = d.ScrapeP99Ms
+	doc.Summary["serve_scrape_bytes"] = d.ScrapeBytes
+	doc.Summary["serve_events_streamed"] = d.EventsStreamed
+	return nil
 }
 
 // Parse consumes `go test -bench` output line by line.

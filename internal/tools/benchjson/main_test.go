@@ -44,6 +44,58 @@ func TestParse(t *testing.T) {
 	}
 }
 
+const incrementalSample = `goos: linux
+pkg: stamp
+BenchmarkAtlasIncremental/incremental-8         	    5000	    215000 ns/op	      4651 events/s	       0 allocs/op
+BenchmarkAtlasIncremental/scratch-8             	      20	  52000000 ns/op
+PASS
+`
+
+func TestSummarizeStableNames(t *testing.T) {
+	doc, err := Parse(bufio.NewScanner(strings.NewReader(incrementalSample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Summarize(doc)
+	for name, want := range map[string]float64{
+		"atlas_incremental_events_per_s":     4651,
+		"atlas_incremental_ns_per_event":     215000,
+		"atlas_incremental_allocs_per_event": 0,
+		"atlas_scratch_ns_per_event":         52000000,
+	} {
+		if got := doc.Summary[name]; got != want {
+			t.Errorf("summary[%s] = %v, want %v", name, got, want)
+		}
+	}
+	if got := doc.Summary["atlas_scratch_over_incremental"]; got < 241 || got > 242 {
+		t.Errorf("speedup ratio = %v, want ~241.86", got)
+	}
+}
+
+func TestMergeServe(t *testing.T) {
+	doc := &Doc{SchemaVersion: SchemaVersion}
+	serveResult := `{
+	  "experiment": "serve-load",
+	  "data": {"readers": 16, "reads_per_s": 1200.5, "read_p50_ms": 0.4,
+	           "read_p99_ms": 2.25, "scrape_p99_ms": 1.5, "scrape_bytes": 9000,
+	           "events_streamed": 40}
+	}`
+	if err := MergeServe(doc, []byte(serveResult)); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Summary["serve_read_p99_ms"] != 2.25 || doc.Summary["serve_reads_per_s"] != 1200.5 ||
+		doc.Summary["serve_readers"] != 16 {
+		t.Errorf("summary = %v", doc.Summary)
+	}
+	// Wrong experiment must be rejected, not silently merged.
+	if err := MergeServe(doc, []byte(`{"experiment":"figure2","data":{}}`)); err == nil {
+		t.Error("figure2 result merged as serve-load")
+	}
+	if err := MergeServe(doc, []byte(`{not json`)); err == nil {
+		t.Error("malformed result merged")
+	}
+}
+
 func TestParseRejectsEmpty(t *testing.T) {
 	if _, err := Parse(bufio.NewScanner(strings.NewReader("PASS\nok x 1s\n"))); err == nil {
 		t.Fatal("empty bench output parsed without error")
