@@ -6,6 +6,7 @@ import (
 
 	"stamp/internal/scenario"
 	"stamp/internal/topology"
+	"stamp/internal/trace"
 )
 
 // The atlas engine models interdomain convergence at routing-round
@@ -70,10 +71,18 @@ type Engine struct {
 	g       *Graph
 	p       Params
 	metrics *Metrics
+	tracer  *trace.Tracer
 }
 
 // NewEngine builds an engine over g.
 func NewEngine(g *Graph, p Params) *Engine { return &Engine{g: g, p: p} }
+
+// Trace attaches a tracer: each subsequent ApplyEvent, InitDest, or
+// ConvergeDest takes one sampling decision and, when sampled, records a
+// causal span tree (apply → cascade → per-plane convergence with
+// per-round churn). nil detaches. Tracing is side-effect only — it
+// never changes outcomes, RNG streams, or the JSON reports.
+func (e *Engine) Trace(t *trace.Tracer) { e.tracer = t }
 
 // Graph returns the engine's topology.
 func (e *Engine) Graph() *Graph { return e.g }
@@ -190,6 +199,49 @@ type State struct {
 	// local an incremental repair was (one store per window; no cost
 	// when metrics are detached).
 	seedFront [planeCount]int32
+
+	// Tracing context (internal/trace). trc is the per-event recording
+	// context (zero = disabled: every span call no-ops), trcParent the
+	// external parent span an owner like serve wants atlas roots nested
+	// under, trcRoot the current apply/converge root the plane spans
+	// parent to, traceShard the ring the state's spans land in. NOT
+	// cleared by reset — the lifetime is owned by ApplyEvent/ConvergeDest
+	// (engine tracer) or SetTrace/ClearTrace (external owner).
+	trc        trace.Ctx
+	trcParent  uint64
+	trcRoot    uint64
+	traceShard int
+}
+
+// SetTrace attaches an externally-owned trace context: the next
+// ApplyEvent records its spans there, nested under parent (the caller's
+// span — serve uses this to hang per-shard atlas work under one ingest
+// root). Pair with ClearTrace; while attached, the engine's own tracer
+// takes no sampling decisions for this state.
+func (st *State) SetTrace(c trace.Ctx, parent trace.SpanID) {
+	st.trc = c
+	st.trcParent = uint64(parent)
+}
+
+// ClearTrace detaches any external trace context.
+func (st *State) ClearTrace() {
+	st.trc = trace.Ctx{}
+	st.trcParent = 0
+	st.trcRoot = 0
+}
+
+// SetTraceShard routes this state's sampled spans to ring shard i of
+// the engine's tracer (one shard per worker avoids lock contention) and
+// sets the Chrome thread id traces render under.
+func (st *State) SetTraceShard(i int) { st.traceShard = i }
+
+// planeSpanNames and roundArgKeys are the static span/arg names the
+// hot loop uses — indexed, never formatted, so tracing stays 0 allocs.
+var planeSpanNames = [planeCount]string{"atlas.plane_bgp", "atlas.plane_red", "atlas.plane_blue"}
+
+var roundArgKeys = [...]string{
+	"round1_changed", "round2_changed", "round3_changed",
+	"round4_changed", "round5_changed", "round6_changed",
 }
 
 // outcome implements engineState.
@@ -435,6 +487,12 @@ func (st *State) markChanged(p int, a int32) bool {
 func (st *State) converge(p int, mrai int32, out *PlaneOutcome) (int32, error) {
 	g := st.g
 	st.seedFront[p] = int32(st.frontLen)
+	sp := st.trc.StartChild(trace.SpanID(st.trcRoot), planeSpanNames[p])
+	traced := sp.Live()
+	if traced {
+		sp.Arg("seed_frontier", int64(st.frontLen))
+	}
+	startChanged := out.Changed
 	// Safety bound: Gao-Rexford policies are provably safe under any
 	// activation order, so this fires only on an engine bug.
 	maxRounds := int32(10_000) + 16*int32(g.Len())
@@ -442,8 +500,10 @@ func (st *State) converge(p int, mrai int32, out *PlaneOutcome) (int32, error) {
 	for st.frontLen > 0 || st.pendLen > 0 {
 		round++
 		if round > maxRounds {
+			sp.End()
 			return round, fmt.Errorf("atlas: plane %d exceeded %d rounds at dest %d; engine bug", p, maxRounds, st.dest)
 		}
+		roundChanged := out.Changed
 		// Phase 1: every frontier AS re-evaluates from advertisements.
 		fl := st.frontLen
 		st.frontLen = 0
@@ -502,6 +562,14 @@ func (st *State) converge(p int, mrai int32, out *PlaneOutcome) (int32, error) {
 			}
 		}
 		st.pendLen = w
+		if traced && round <= int32(len(roundArgKeys)) {
+			sp.Arg(roundArgKeys[round-1], out.Changed-roundChanged)
+		}
+	}
+	if traced {
+		sp.Arg("rounds", int64(round))
+		sp.Arg("changed", out.Changed-startChanged)
+		sp.End()
 	}
 	return round, nil
 }
@@ -513,6 +581,8 @@ func (st *State) converge(p int, mrai int32, out *PlaneOutcome) (int32, error) {
 func (st *State) cascade(p int, out *PlaneOutcome) {
 	g := st.g
 	n := int32(g.Len())
+	sp := st.trc.StartChild(trace.SpanID(st.trcRoot), "atlas.cascade")
+	startChanged := out.Changed
 	for {
 		any := false
 		for a := int32(0); a < n; a++ {
@@ -545,8 +615,14 @@ func (st *State) cascade(p int, out *PlaneOutcome) {
 			any = true
 		}
 		if !any {
-			return
+			break
 		}
+	}
+	if sp.Live() {
+		sp.Arg("plane", int64(p))
+		sp.Arg("invalidated", out.Changed-startChanged)
+		sp.Arg("frontier", int64(st.frontLen))
+		sp.End()
 	}
 }
 
@@ -659,7 +735,22 @@ type engineState interface {
 // node events are applied globally; its Dest field is ignored (each
 // shard is its own origin).
 func (e *Engine) ConvergeDest(st *State, dest topology.ASN, groups [][]scenario.Event) (DestOutcome, error) {
+	ext := st.trc.Live()
+	if !ext {
+		st.trc = e.tracer.Event(st.traceShard)
+	}
+	sp := st.trc.StartChild(trace.SpanID(st.trcParent), "atlas.converge_dest")
+	st.trcRoot = uint64(sp.ID())
 	out, err := convergeDest(st, e.p, dest, groups)
+	if sp.Live() {
+		sp.Arg("dest", int64(dest))
+		sp.Arg("groups", int64(len(groups)))
+		sp.End()
+	}
+	st.trcRoot = 0
+	if !ext {
+		st.trc = trace.Ctx{}
+	}
 	st.inited = err == nil
 	return out, err
 }
@@ -837,7 +928,21 @@ func applyEventGroup(st engineState, params Params, group []scenario.Event) (Eve
 // stream events incrementally. The outcome accumulates in the state;
 // FinishDest reads it out.
 func (e *Engine) InitDest(st *State, dest topology.ASN) error {
+	ext := st.trc.Live()
+	if !ext {
+		st.trc = e.tracer.Event(st.traceShard)
+	}
+	sp := st.trc.StartChild(trace.SpanID(st.trcParent), "atlas.init_dest")
+	st.trcRoot = uint64(sp.ID())
 	err := initConverge(st, e.p, dest, nil)
+	if sp.Live() {
+		sp.Arg("dest", int64(dest))
+		sp.End()
+	}
+	st.trcRoot = 0
+	if !ext {
+		st.trc = trace.Ctx{}
+	}
 	st.inited = err == nil
 	return err
 }
@@ -854,8 +959,29 @@ func (e *Engine) ApplyEvent(st *State, ev scenario.Event) (EventCost, error) {
 	if !st.inited {
 		return EventCost{}, fmt.Errorf("atlas: ApplyEvent on a state that was never converged (call InitDest first)")
 	}
+	ext := st.trc.Live()
+	if !ext {
+		st.trc = e.tracer.Event(st.traceShard)
+	}
+	sp := st.trc.StartChild(trace.SpanID(st.trcParent), "atlas.apply_event")
+	st.trcRoot = uint64(sp.ID())
 	st.evScratch[0] = ev
 	cost, err := applyEventGroup(st, e.p, st.evScratch[:1])
+	if sp.Live() {
+		sp.ArgStr("op", ev.Op.String())
+		sp.Arg("dest", int64(st.dest))
+		sp.Arg("rounds", int64(cost.Rounds()))
+		sp.Arg("changed", cost.Changed)
+		sp.Arg("stamp_lost", cost.StampLost)
+		if cost.Reroot {
+			sp.Arg("reroot", 1)
+		}
+		sp.End()
+	}
+	st.trcRoot = 0
+	if !ext {
+		st.trc = trace.Ctx{}
+	}
 	if err == nil && e.metrics != nil {
 		e.metrics.record(st, cost)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"stamp/internal/scenario"
 	"stamp/internal/topology"
+	"stamp/internal/trace"
 )
 
 // fuzzEvents decodes raw fuzz bytes into a valid event sequence on g:
@@ -146,30 +147,49 @@ func FuzzIncrementalConverge(f *testing.F) {
 // TestIncrementalHotLoopAllocs is the deterministic allocs/op gate on
 // the incremental path, mirroring TestConvergeHotLoopAllocs for the
 // grouped driver: one InitDest plus a full storm event stream on a
-// reused state allocates nothing.
+// reused state allocates nothing. Tracing is compiled into that path
+// now, so the gate runs three ways: tracer detached (nil), tracer
+// attached but not sampling this stream, and tracer attached with
+// every event sampled — all must stay at 0 allocs/op.
 func TestIncrementalHotLoopAllocs(t *testing.T) {
 	_, g := testGraph(t, 300, 5)
-	eng := NewEngine(g, DefaultParams())
-	st := eng.NewState()
 	groups := stormGroups(t, g, 19)
 	dests, err := Destinations(g, 1, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	allocs := testing.AllocsPerRun(20, func() {
-		if err := eng.InitDest(st, dests[0]); err != nil {
-			t.Fatal(err)
-		}
-		for _, group := range groups {
-			for _, ev := range group {
-				if _, err := eng.ApplyEvent(st, ev); err != nil {
+	cases := []struct {
+		name   string
+		tracer *trace.Tracer
+	}{
+		{"no-tracer", nil},
+		{"tracer-not-sampled", trace.New(trace.Options{Shards: 1, SampleEvery: 1 << 30})},
+		{"tracer-sampled", trace.New(trace.Options{Shards: 1, BufferPerShard: 4096})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := NewEngine(g, DefaultParams())
+			eng.Trace(tc.tracer)
+			st := eng.NewState()
+			// Burn the sampler's always-sampled first decision outside the
+			// measured loop so the not-sampled case measures the skip path.
+			eng.InitDest(st, dests[0])
+			allocs := testing.AllocsPerRun(20, func() {
+				if err := eng.InitDest(st, dests[0]); err != nil {
 					t.Fatal(err)
 				}
+				for _, group := range groups {
+					for _, ev := range group {
+						if _, err := eng.ApplyEvent(st, ev); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				eng.FinishDest(st)
+			})
+			if allocs != 0 {
+				t.Fatalf("incremental loop allocates: %v allocs/op, want 0", allocs)
 			}
-		}
-		eng.FinishDest(st)
-	})
-	if allocs != 0 {
-		t.Fatalf("incremental loop allocates: %v allocs/op, want 0", allocs)
+		})
 	}
 }

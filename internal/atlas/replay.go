@@ -11,6 +11,7 @@ import (
 	"stamp/internal/runner"
 	"stamp/internal/scenario"
 	"stamp/internal/topology"
+	"stamp/internal/trace"
 )
 
 // ReplayOptions configures an event-stream replay: one scenario script
@@ -41,6 +42,10 @@ type ReplayOptions struct {
 	Progress func(done, total int)
 	// Context cancels the replay between destination shards.
 	Context context.Context
+	// Tracer, when non-nil, records causal spans for the sampled subset
+	// of InitDest/ApplyEvent calls (see internal/trace). Side-effect
+	// only: the report stays byte-identical for any worker count.
+	Tracer *trace.Tracer
 }
 
 // EventReport aggregates one stream position over all destination
@@ -173,6 +178,7 @@ func Replay(opts ReplayOptions) (*ReplayReport, error) {
 	}
 	total := len(events) * repeat
 	eng := NewEngine(g, opts.Params)
+	eng.Trace(opts.Tracer)
 
 	pool := sync.Pool{New: func() any { return eng.NewState() }}
 	spec := runner.Spec[replayShard]{
@@ -185,6 +191,7 @@ func Replay(opts ReplayOptions) (*ReplayReport, error) {
 			}
 			st := pool.Get().(*State)
 			defer pool.Put(st)
+			st.SetTraceShard(t.Index)
 			dest := dests[t.Index]
 			if err := eng.InitDest(st, dest); err != nil {
 				return replayShard{}, err

@@ -37,6 +37,7 @@ func (e env) cmdDaemon(args []string) int {
 		lock      = fs.Uint("lock", 0, "provider AS receiving the locked blue announcement")
 		accept    = fs.String("accept", "", "inbound peers: AS,rel pairs separated by ';'")
 		metrics   = fs.String("metrics", "", "serve /metrics, /healthz, and /events on this address (optional)")
+		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the -metrics listener")
 	)
 	var peers []peerFlag
 	fs.Func("peer", "outbound peer as addr,AS,rel (repeatable)", func(v string) error {
@@ -68,6 +69,7 @@ func (e env) cmdDaemon(args []string) int {
 
 	logger := log.New(e.stderr, "", log.LstdFlags)
 	reg := obs.NewRegistry()
+	obs.RegisterRuntime(reg)
 	wireMetrics := netd.NewMetrics(reg)
 	events := obs.NewEventLog(1024)
 	routeChanges := reg.Counter("stamp_daemon_route_changes_total",
@@ -145,6 +147,7 @@ func (e env) cmdDaemon(args []string) int {
 				}
 			},
 			Closing: closing,
+			Pprof:   *pprofOn,
 		})
 		srv, addr, err := serveMux(mux, *metrics)
 		if err != nil {

@@ -206,11 +206,17 @@ func (e env) cmdAtlas(args []string) int {
 	f := addRequestFlags(fs)
 	loss := fs.Bool("loss", false, "reduce to the BGP-vs-STAMP transient-loss comparison (atlas-loss)")
 	replay := fs.Bool("replay", false, "stream the script through the incremental engine, reporting per-event cost (atlas-replay)")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the replay to this file (requires -replay; load at ui.perfetto.dev)")
+	traceN := fs.Int("trace-sample", 0, "record 1-in-N event traces (0 or 1 = every one; with -trace)")
 	if code, done := parse(fs, args); done {
 		return code
 	}
 	if *loss && *replay {
 		fmt.Fprintln(e.stderr, "stamp atlas: -loss and -replay are mutually exclusive")
+		return ExitUsage
+	}
+	if *tracePath != "" && !*replay {
+		fmt.Fprintln(e.stderr, "stamp atlas: -trace requires -replay (only the incremental stream is traced)")
 		return ExitUsage
 	}
 	name := "atlas-converge"
@@ -225,6 +231,8 @@ func (e env) cmdAtlas(args []string) int {
 		fmt.Fprintln(e.stderr, "stamp atlas:", err)
 		return ExitUsage
 	}
+	req.TracePath = *tracePath
+	req.TraceSample = *traceN
 	res, err := lab.Run(req)
 	if err != nil {
 		return e.fail(err)

@@ -35,8 +35,11 @@ func (e env) cmdServe(args []string) int {
 		replay   = fs.Bool("replay", false, "run the paced replay loop (otherwise events arrive only via POST /admin/event)")
 		swarm    = fs.Int("swarm", 0, "run the read-load harness with this many concurrent readers, then exit")
 		duration = fs.Duration("duration", 10*time.Second, "swarm load duration")
-		slo      = fs.Float64("slo", 0, "fail (exit 1) when the swarm read p99 exceeds this many milliseconds (0 = no gate)")
+		slo      = fs.Float64("slo", 0, "read-latency budget in milliseconds: the swarm p99 gate (exit 1 on breach), and the per-read flight-recorder trigger (0 = no gate)")
 		jsonOut  = fs.Bool("json", false, "emit the swarm report as JSON on stdout")
+		traceDir = fs.String("trace-dir", "", "write flight-recorder trace dumps to this directory (latest also at GET /debug/flight)")
+		traceN   = fs.Int("trace-sample", 0, "record 1-in-N event/read traces (0 or 1 = every one)")
+		pprofOn  = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	if code, done := parse(fs, args); done {
 		return code
@@ -66,14 +69,20 @@ func (e env) cmdServe(args []string) int {
 
 	logger := log.New(e.stderr, "", log.LstdFlags)
 	cfg := serve.Config{
-		Graph:    g,
-		Scenario: kind,
-		Dests:    *dests,
-		Seed:     *seed,
-		Workers:  *workers,
-		Repeat:   *repeat,
-		Interval: time.Duration(float64(time.Second) / *rate),
-		Logf:     logger.Printf,
+		Graph:       g,
+		Scenario:    kind,
+		Dests:       *dests,
+		Seed:        *seed,
+		Workers:     *workers,
+		Repeat:      *repeat,
+		Interval:    time.Duration(float64(time.Second) / *rate),
+		Logf:        logger.Printf,
+		TraceDir:    *traceDir,
+		TraceSample: *traceN,
+		Pprof:       *pprofOn,
+	}
+	if *slo > 0 {
+		cfg.ReadSLO = time.Duration(*slo * float64(time.Millisecond))
 	}
 	if !*replay {
 		// Admin-only mode never cycles the script, so any scenario —

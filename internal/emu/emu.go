@@ -24,6 +24,7 @@ import (
 	"stamp/internal/scenario"
 	"stamp/internal/sim"
 	"stamp/internal/topology"
+	"stamp/internal/trace"
 	"stamp/internal/wire"
 )
 
@@ -53,6 +54,10 @@ type Options struct {
 	// Metrics, when non-nil, streams fleet activity (sessions up, UPDATE
 	// volume, in-flight) into an obs registry.
 	Metrics *Metrics
+	// Tracer, when non-nil, records one causal span tree per Run — boot,
+	// initial convergence, scenario convergence — with session and UPDATE
+	// counts as annotations (see internal/trace).
+	Tracer *trace.Tracer
 }
 
 func (o Options) withDefaults() Options {

@@ -3,9 +3,11 @@ package lab
 import (
 	"fmt"
 	"io"
+	"os"
 
 	"stamp/internal/atlas"
 	"stamp/internal/scenario"
+	"stamp/internal/trace"
 )
 
 // The atlas experiments: internet-scale runs on the CSR graph + flat
@@ -127,6 +129,34 @@ func runAtlas(req Request, loss bool) (*Result, error) {
 	return res, nil
 }
 
+// writeReplayTrace renders the tracer's retained spans as a Chrome
+// trace-event JSON at req.TracePath, stamping the run parameters and
+// sampling stats into the document metadata.
+func writeReplayTrace(req Request, tracer *trace.Tracer) error {
+	f, err := os.Create(req.TracePath)
+	if err != nil {
+		return fmt.Errorf("lab: trace output: %w", err)
+	}
+	decisions, sampled := tracer.Traces()
+	meta := map[string]any{
+		"experiment":   req.Experiment,
+		"scenario":     req.Scenario,
+		"seed":         req.Seed,
+		"sample_every": tracer.SampleEvery(),
+		"decisions":    decisions,
+		"sampled":      sampled,
+		"dropped":      tracer.Dropped(),
+	}
+	if werr := trace.WriteChrome(f, tracer.Snapshot(), meta); werr != nil {
+		f.Close()
+		return fmt.Errorf("lab: write trace: %w", werr)
+	}
+	if cerr := f.Close(); cerr != nil {
+		return fmt.Errorf("lab: write trace: %w", cerr)
+	}
+	return nil
+}
+
 // runAtlasReplay streams the scenario through the incremental engine
 // instead of the grouped from-scratch driver: the payload is the full
 // per-event cost curve.
@@ -139,12 +169,22 @@ func runAtlasReplay(req Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var tracer *trace.Tracer
+	if req.TracePath != "" {
+		tracer = trace.New(trace.Options{SampleEvery: req.TraceSample})
+	}
 	rep, err := atlas.Replay(atlas.ReplayOptions{
 		Graph: g, Scenario: kind, Repeat: req.Repeat, Dests: req.Dests, Seed: req.Seed,
 		Workers: req.Workers, Progress: req.Progress, Context: req.ctx(),
+		Tracer: tracer,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if tracer != nil {
+		if err := writeReplayTrace(req, tracer); err != nil {
+			return nil, err
+		}
 	}
 	res := &Result{
 		SchemaVersion: SchemaVersion,

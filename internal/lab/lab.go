@@ -101,6 +101,13 @@ type Request struct {
 	// NoDiff skips the sim-reference differential validation on emu
 	// runs (the live measurement still happens).
 	NoDiff bool
+	// TracePath, when non-empty, makes stream experiments
+	// (atlas-replay) record causal convergence spans and write them as
+	// a Chrome trace-event JSON to this file (loadable in Perfetto).
+	TracePath string
+	// TraceSample thins the trace to 1-in-N applied events (<= 1:
+	// every event).
+	TraceSample int
 	// Progress, when non-nil, receives (done, total) shard counts.
 	Progress func(done, total int)
 	// Context cancels the run: dispatch stops and in-flight trials are

@@ -71,6 +71,22 @@ func (l *EventLog) LastSeq() uint64 {
 	return l.next - 1
 }
 
+// OldestSeq returns the sequence number of the oldest event still
+// retained in the ring (0 if empty) — what a resuming streamer is
+// actually offered when its cursor has been evicted.
+func (l *EventLog) OldestSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	last := l.next - 1
+	if last == 0 {
+		return 0
+	}
+	if last > uint64(cap(l.buf)) {
+		return last - uint64(cap(l.buf)) + 1
+	}
+	return 1
+}
+
 // Since returns a copy of every retained event with Seq > after, in
 // sequence order.
 func (l *EventLog) Since(after uint64) []Event {

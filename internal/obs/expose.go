@@ -16,6 +16,7 @@ import (
 // output is deterministic for a fixed set of values, which is what the
 // golden-file test pins.
 func (r *Registry) WriteText(w io.Writer) error {
+	r.collect()
 	bw := bufio.NewWriter(w)
 	for _, f := range r.snapshotFamilies() {
 		bw.WriteString("# HELP ")

@@ -207,6 +207,30 @@ type Registry struct {
 	mu       sync.Mutex
 	families []*family
 	byName   map[string]*family
+
+	collMu     sync.Mutex
+	collectors []func()
+}
+
+// OnScrape registers a collector invoked at the start of every
+// WriteText — the hook pull-style metrics (runtime gauges, queue
+// depths) use to refresh themselves only when someone is looking.
+// Collectors must be fast and must not call WriteText.
+func (r *Registry) OnScrape(f func()) {
+	r.collMu.Lock()
+	r.collectors = append(r.collectors, f)
+	r.collMu.Unlock()
+}
+
+// collect runs the registered scrape hooks.
+func (r *Registry) collect() {
+	r.collMu.Lock()
+	colls := make([]func(), len(r.collectors))
+	copy(colls, r.collectors)
+	r.collMu.Unlock()
+	for _, f := range colls {
+		f()
+	}
 }
 
 // NewRegistry returns an empty registry.

@@ -144,7 +144,7 @@ func ParseText(r io.Reader) (*Scrape, error) {
 func parseSample(line string) (Sample, error) {
 	s := Sample{}
 	rest := line
-	if i := strings.IndexAny(rest, "{ "); i < 0 {
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
 		return s, fmt.Errorf("malformed sample %q", line)
 	} else {
 		s.Name = rest[:i]
@@ -163,8 +163,8 @@ func parseSample(line string) (Sample, error) {
 	}
 	rest = strings.TrimSpace(rest)
 	// A timestamp after the value is legal in the format; WriteText never
-	// emits one but tolerate it.
-	if i := strings.IndexByte(rest, ' '); i >= 0 {
+	// emits one but tolerate it. Separators may be spaces or tabs.
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
 		rest = rest[:i]
 	}
 	v, err := parseValue(rest)

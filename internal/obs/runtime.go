@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// runtimeCollector refreshes process-health gauges from the Go runtime
+// on every scrape. ReadMemStats is a stop-the-world pause (~µs at our
+// heap sizes), so it runs only when someone actually scrapes, never on
+// a timer.
+type runtimeCollector struct {
+	goroutines *Gauge
+	heapBytes  *Gauge
+	numGC      *Counter
+	gcPause    *Histogram
+
+	mu        sync.Mutex
+	lastNumGC uint32
+}
+
+// RegisterRuntime adds process runtime metrics to the registry —
+// stamp_runtime_goroutines, stamp_runtime_heap_bytes,
+// stamp_runtime_num_gc_total, and a stamp_runtime_gc_pause_seconds
+// histogram fed from the runtime's recent-pause ring — refreshed by an
+// OnScrape hook so every /metrics surface that shares the registry gets
+// them for free. Call once per registry (a second call panics on the
+// duplicate names, like any double registration).
+func RegisterRuntime(r *Registry) {
+	c := &runtimeCollector{
+		goroutines: r.Gauge("stamp_runtime_goroutines", "Live goroutines."),
+		heapBytes:  r.Gauge("stamp_runtime_heap_bytes", "Bytes of allocated heap objects (MemStats.HeapAlloc)."),
+		numGC:      r.Counter("stamp_runtime_num_gc_total", "Completed GC cycles."),
+		gcPause: r.Histogram("stamp_runtime_gc_pause_seconds", "Stop-the-world GC pause durations.",
+			ExpBuckets(1e-6, 4, 10)), // 1µs .. ~260ms
+	}
+	r.OnScrape(c.refresh)
+}
+
+// refresh pulls the current runtime state into the metrics. GC pauses
+// are drained from MemStats.PauseNs — a circular buffer of the last 256
+// pauses — by cycle number, so each pause is observed exactly once no
+// matter how rarely scrapes happen (older ones are simply lost, which
+// keeps the histogram honest rather than double-counted).
+func (c *runtimeCollector) refresh() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.goroutines.Set(int64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.heapBytes.Set(int64(ms.HeapAlloc))
+	if ms.NumGC > c.lastNumGC {
+		c.numGC.Add(int64(ms.NumGC - c.lastNumGC))
+		first := c.lastNumGC
+		if ms.NumGC-first > uint32(len(ms.PauseNs)) {
+			first = ms.NumGC - uint32(len(ms.PauseNs))
+		}
+		for i := first; i < ms.NumGC; i++ {
+			c.gcPause.Observe(float64(ms.PauseNs[i%uint32(len(ms.PauseNs))]) / 1e9)
+		}
+		c.lastNumGC = ms.NumGC
+	}
+}

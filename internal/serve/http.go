@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"stamp/internal/obs"
 	"stamp/internal/scenario"
 	"stamp/internal/topology"
+	"stamp/internal/trace"
 )
 
 // MuxConfig assembles the shared observability surface — /metrics,
@@ -32,6 +34,11 @@ type MuxConfig struct {
 	Closing <-chan struct{}
 	// SSEClients, when non-nil, tracks connected /events streams.
 	SSEClients *obs.Gauge
+	// Tracer, when non-nil, records one span per SSE broadcast burst.
+	Tracer *trace.Tracer
+	// Pprof mounts net/http/pprof profile handlers (CPU, heap,
+	// goroutine, block, ...) under /debug/pprof/.
+	Pprof bool
 }
 
 // ObsMux builds the shared observability mux from its config.
@@ -47,6 +54,15 @@ func ObsMux(c MuxConfig) *http.ServeMux {
 	})
 	if c.Events != nil {
 		mux.HandleFunc("GET /events", sseHandler(c))
+	}
+	if c.Pprof {
+		// pprof.Index dispatches /debug/pprof/{heap,goroutine,block,...}
+		// itself; only the fixed-path handlers need explicit mounts.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 	return mux
 }
@@ -102,16 +118,31 @@ func sseHandler(c MuxConfig) http.HandlerFunc {
 		}
 		for {
 			evs := c.Events.Since(after)
-			for _, ev := range evs {
-				after = ev.Seq
-				payload, err := json.Marshal(ev)
-				if err != nil {
-					continue
-				}
-				fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, payload)
-			}
 			if len(evs) > 0 {
+				sp := c.Tracer.Event(0).Start("serve.sse_broadcast")
+				if after > 0 && evs[0].Seq > after+1 {
+					// The ring evicted entries between the client's resume
+					// point and the oldest retained event. Tell it
+					// explicitly what it missed rather than letting the id:
+					// jump pass silently. No id: line — a reconnecting
+					// client must not resume from the gap marker itself.
+					fmt.Fprintf(w, "event: gap\ndata: {\"requested\":%d,\"oldest\":%d}\n\n",
+						after+1, evs[0].Seq)
+				}
+				for _, ev := range evs {
+					after = ev.Seq
+					payload, err := json.Marshal(ev)
+					if err != nil {
+						continue
+					}
+					fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, payload)
+				}
 				fl.Flush()
+				if sp.Live() {
+					sp.Arg("events", int64(len(evs)))
+					sp.Arg("last_seq", int64(after))
+					sp.End()
+				}
 			}
 			if !c.Events.Wait(ctx, after) {
 				return
@@ -142,11 +173,29 @@ func (s *Server) Handler() http.Handler {
 		Health:     s.health,
 		Closing:    s.web.closing,
 		SSEClients: s.metrics.sseClients,
+		Tracer:     s.tracer,
+		Pprof:      s.cfg.Pprof,
 	})
 	mux.HandleFunc("GET /state", s.read(s.handleStateIndex))
 	mux.HandleFunc("GET /state/{dest}", s.read(s.handleStateRead))
 	mux.HandleFunc("POST /admin/event", s.handleAdminEvent)
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	return mux
+}
+
+// handleFlight serves the most recent flight-recorder dump — the same
+// Chrome trace JSON written to TraceDir, retrievable without filesystem
+// access to the serving host.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	dump := s.flight.Latest()
+	if dump == nil {
+		writeJSON(w, http.StatusNotFound,
+			map[string]string{"error": "no flight-recorder dumps taken yet"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(dump)
 }
 
 func (s *Server) health() any {
@@ -154,6 +203,8 @@ func (s *Server) health() any {
 		"status":         "ok",
 		"epoch":          s.epoch.Load(),
 		"events_applied": s.eventsApplied.Load(),
+		"last_event_seq": s.events.LastSeq(),
+		"flight_dumps":   s.flight.Count(),
 		"dests":          len(s.shards),
 		"ases":           s.g.Len(),
 		"scenario":       s.cfg.Scenario.String(),
@@ -165,12 +216,25 @@ func (s *Server) health() any {
 // gauge, and JSON error rendering for handler-returned httpErrs.
 func (s *Server) read(h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		sp := s.tracer.Event(0).Start("serve.read")
+		if sp.Live() {
+			sp.ArgStr("path", r.URL.Path)
+		}
 		start := time.Now()
 		s.metrics.inFlight.Add(1)
 		err := h(w, r)
 		s.metrics.inFlight.Add(-1)
-		s.metrics.readSeconds.Observe(time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		s.metrics.readSeconds.Observe(elapsed.Seconds())
 		s.metrics.readsTotal.Inc()
+		if sp.Live() {
+			sp.Arg("us", elapsed.Microseconds())
+			sp.End()
+		}
+		if s.cfg.ReadSLO > 0 && elapsed > s.cfg.ReadSLO {
+			s.flight.trigger("read-slo",
+				fmt.Sprintf("%s took %s (SLO %s)", r.URL.Path, elapsed, s.cfg.ReadSLO))
+		}
 		if err != nil {
 			s.metrics.readErrors.Inc()
 			code := http.StatusInternalServerError
@@ -350,6 +414,7 @@ func (s *Server) Start(addr string) (string, error) {
 	}
 	s.web.done = make(chan error, 1)
 	go func() { s.web.done <- s.web.srv.Serve(ln) }()
+	go s.flight.monitor(s.web.closing, 2*time.Second)
 	s.events.Append("listening", "http on "+ln.Addr().String(), nil)
 	s.logf("serve: listening on http://%s", ln.Addr())
 	return ln.Addr().String(), nil

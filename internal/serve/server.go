@@ -31,6 +31,7 @@ import (
 	"stamp/internal/runner"
 	"stamp/internal/scenario"
 	"stamp/internal/topology"
+	"stamp/internal/trace"
 )
 
 // Seed-derivation stream labels, mirroring the atlas replay streams so
@@ -68,6 +69,20 @@ type Config struct {
 	Registry *obs.Registry
 	// EventLogSize bounds the SSE ring buffer (default 1024).
 	EventLogSize int
+	// TraceDir, when non-empty, is where flight-recorder dumps are
+	// written as flight-<n>.json Chrome trace files (the latest is always
+	// also retrievable at GET /debug/flight).
+	TraceDir string
+	// TraceSample records 1-in-N event/read traces (default 1: every
+	// one). The server always runs a tracer — its span rings are the
+	// flight recorder's source material.
+	TraceSample int
+	// ReadSLO, when > 0, is the per-read latency budget; a single read
+	// exceeding it triggers a flight-recorder dump.
+	ReadSLO time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the HTTP
+	// surface.
+	Pprof bool
 	// Logf, when non-nil, receives diagnostic lines.
 	Logf func(format string, args ...any)
 }
@@ -146,6 +161,8 @@ type Server struct {
 	eventsApplied atomic.Uint64
 	started       time.Time
 
+	tracer  *trace.Tracer
+	flight  *flightRecorder
 	metrics serverMetrics
 	web     webState
 }
@@ -243,6 +260,23 @@ func New(cfg Config) (*Server, error) {
 		s.byASN[g.OriginalASN(topology.ASN(a))] = int32(a)
 	}
 	s.metrics = newServerMetrics(cfg.Registry)
+	obs.RegisterRuntime(cfg.Registry)
+	// The tracer is always on: the serve plane's span volume is a few
+	// spans per applied event and one per read, retained in fixed rings,
+	// and the flight recorder needs those rings populated when an
+	// anomaly hits. TraceSample thins high-rate deployments.
+	s.tracer = trace.New(trace.Options{
+		Shards:      1 + len(dests),
+		SampleEvery: cfg.TraceSample,
+	})
+	s.flight = newFlightRecorder(s.tracer, cfg.TraceDir, s.events, cfg.Registry,
+		s.logf, func() map[string]any {
+			return map[string]any{
+				"epoch":          s.epoch.Load(),
+				"last_event_seq": s.events.LastSeq(),
+				"sample_every":   s.tracer.SampleEvery(),
+			}
+		})
 	s.eng = atlas.NewEngine(g, cfg.Params)
 	s.eng.Instrument(atlas.NewMetrics(cfg.Registry))
 
@@ -376,17 +410,31 @@ func (s *Server) ApplyEvent(ev scenario.Event) (EventRecord, error) {
 	defer s.applyMu.Unlock()
 	start := time.Now()
 	epoch := s.epoch.Load() + 1
+	// One applied event is one trace: the ingest root on thread 0, each
+	// shard's atlas spans and publish on its own thread track.
+	tc := s.tracer.Event(0)
+	root := tc.Start("serve.apply_event")
+	if root.Live() {
+		root.ArgStr("op", ev.Op.String())
+		root.Arg("epoch", int64(epoch))
+	}
 	costs, err := runner.Run(runner.Spec[atlas.EventCost]{
 		Name:   "serve-apply",
 		Trials: len(s.shards),
 		Seed:   s.cfg.Seed,
 		Run: func(t runner.Trial) (atlas.EventCost, error) {
 			sh := s.shards[t.Index]
+			if tc.Live() {
+				sh.st.SetTrace(tc.WithTID(int32(1+t.Index)), root.ID())
+				defer sh.st.ClearTrace()
+			}
 			cost, err := s.eng.ApplyEvent(sh.st, ev)
 			if err != nil {
 				return atlas.EventCost{}, fmt.Errorf("dest %d: %w", sh.dest, err)
 			}
+			psp := tc.WithTID(int32(1+t.Index)).StartChild(root.ID(), "serve.publish")
 			s.publish(sh, epoch)
+			psp.End()
 			return cost, nil
 		},
 	}, runner.Options{Workers: s.cfg.Workers, Metrics: s.metrics.pool})
@@ -425,9 +473,19 @@ func (s *Server) ApplyEvent(ev scenario.Event) (EventRecord, error) {
 	s.epoch.Store(epoch)
 	s.metrics.epochGauge.Set(int64(epoch))
 	s.metrics.applySeconds.Observe(elapsed.Seconds())
+	if root.Live() {
+		root.Arg("rounds", rec.Rounds)
+		root.Arg("changed", rec.Changed)
+		root.Arg("reroots", int64(rec.Reroots))
+		root.End()
+	}
 	data, _ := json.Marshal(rec)
 	s.events.Append("event-applied",
 		fmt.Sprintf("%s (epoch %d, %d max rounds)", rec.Op, epoch, rec.MaxRounds), data)
+	if rec.Reroots > 0 {
+		s.flight.trigger("reroot",
+			fmt.Sprintf("event %s rerooted %d/%d dests at epoch %d", rec.Op, rec.Reroots, len(s.shards), epoch))
+	}
 	return rec, nil
 }
 

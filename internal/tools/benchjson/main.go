@@ -92,7 +92,7 @@ func Summarize(doc *Doc) {
 		}
 		doc.Summary[name] = v
 	}
-	var incNs, scratchNs float64
+	var incNs, scratchNs, tracedNs float64
 	for _, b := range doc.Benchmarks {
 		// Strip the -<GOMAXPROCS> suffix go test appends.
 		name := b.Name
@@ -111,6 +111,12 @@ func Summarize(doc *Doc) {
 			if b.AllocsPerOp != nil {
 				set("atlas_incremental_allocs_per_event", *b.AllocsPerOp)
 			}
+		case "BenchmarkAtlasIncremental/traced64":
+			tracedNs = b.NsPerOp
+			set("atlas_traced64_ns_per_event", b.NsPerOp)
+			if b.AllocsPerOp != nil {
+				set("atlas_traced64_allocs_per_event", *b.AllocsPerOp)
+			}
 		case "BenchmarkAtlasIncremental/scratch":
 			scratchNs = b.NsPerOp
 			set("atlas_scratch_ns_per_event", b.NsPerOp)
@@ -118,6 +124,11 @@ func Summarize(doc *Doc) {
 	}
 	if incNs > 0 && scratchNs > 0 {
 		set("atlas_scratch_over_incremental", scratchNs/incNs)
+	}
+	if incNs > 0 && tracedNs > 0 {
+		// The tracing tax at deployment sampling (1-in-64): CI gates
+		// this ratio below 1.05.
+		set("trace_replay_overhead_ratio", tracedNs/incNs)
 	}
 }
 

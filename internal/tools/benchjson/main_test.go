@@ -47,6 +47,7 @@ func TestParse(t *testing.T) {
 const incrementalSample = `goos: linux
 pkg: stamp
 BenchmarkAtlasIncremental/incremental-8         	    5000	    215000 ns/op	      4651 events/s	       0 allocs/op
+BenchmarkAtlasIncremental/traced64-8            	    5000	    219300 ns/op	      4560 events/s	       0 allocs/op
 BenchmarkAtlasIncremental/scratch-8             	      20	  52000000 ns/op
 PASS
 `
@@ -61,6 +62,8 @@ func TestSummarizeStableNames(t *testing.T) {
 		"atlas_incremental_events_per_s":     4651,
 		"atlas_incremental_ns_per_event":     215000,
 		"atlas_incremental_allocs_per_event": 0,
+		"atlas_traced64_ns_per_event":        219300,
+		"atlas_traced64_allocs_per_event":    0,
 		"atlas_scratch_ns_per_event":         52000000,
 	} {
 		if got := doc.Summary[name]; got != want {
@@ -69,6 +72,9 @@ func TestSummarizeStableNames(t *testing.T) {
 	}
 	if got := doc.Summary["atlas_scratch_over_incremental"]; got < 241 || got > 242 {
 		t.Errorf("speedup ratio = %v, want ~241.86", got)
+	}
+	if got := doc.Summary["trace_replay_overhead_ratio"]; got < 1.01 || got > 1.03 {
+		t.Errorf("trace overhead ratio = %v, want ~1.02", got)
 	}
 }
 

@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fakeClock returns a deterministic ns clock advancing step per call.
+func fakeClock(step int64) func() int64 {
+	var t int64
+	return func() int64 {
+		t += step
+		return t
+	}
+}
+
+func TestSpanRecording(t *testing.T) {
+	tr := New(Options{Shards: 1, BufferPerShard: 16})
+	tr.setNow(fakeClock(1000))
+	ctx := tr.Event(0)
+	if !ctx.Live() {
+		t.Fatal("sample-every-1 context should be live")
+	}
+	root := ctx.Start("atlas.apply_event")
+	root.Arg("op", 3)
+	child := ctx.StartChild(root.ID(), "atlas.plane_bgp")
+	child.Arg("rounds", 7)
+	child.ArgStr("plane", "bgp")
+	child.End()
+	root.End()
+
+	recs := tr.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	// Snapshot sorts by start time: root started first.
+	if recs[0].Name != "atlas.apply_event" || recs[1].Name != "atlas.plane_bgp" {
+		t.Fatalf("unexpected order: %q, %q", recs[0].Name, recs[1].Name)
+	}
+	if recs[1].Parent != recs[0].Span {
+		t.Fatalf("child parent %d, want root span %d", recs[1].Parent, recs[0].Span)
+	}
+	if recs[0].Trace != recs[1].Trace {
+		t.Fatalf("trace ids differ: %d vs %d", recs[0].Trace, recs[1].Trace)
+	}
+	if recs[0].Dur <= 0 || recs[1].Dur <= 0 {
+		t.Fatalf("non-positive durations: %d, %d", recs[0].Dur, recs[1].Dur)
+	}
+	if recs[1].NArgs != 1 || recs[1].Args[0] != (Arg{Key: "rounds", Val: 7}) {
+		t.Fatalf("child args: %+v", recs[1].Args[:recs[1].NArgs])
+	}
+	if recs[1].NStrs != 1 || recs[1].Strs[0] != (StrArg{Key: "plane", Val: "bgp"}) {
+		t.Fatalf("child strs: %+v", recs[1].Strs[:recs[1].NStrs])
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := New(Options{Shards: 1, SampleEvery: 4})
+	live := 0
+	for i := 0; i < 16; i++ {
+		if tr.Event(0).Live() {
+			live++
+		}
+	}
+	if live != 4 {
+		t.Fatalf("sampled %d of 16 at 1-in-4, want 4", live)
+	}
+	decisions, sampled := tr.Traces()
+	if decisions != 16 || sampled != 4 {
+		t.Fatalf("Traces() = (%d, %d), want (16, 4)", decisions, sampled)
+	}
+	// The first decision must be sampled, so a single-shot trace (the
+	// CLI's one replay) is never silently empty.
+	tr2 := New(Options{SampleEvery: 64})
+	if !tr2.Event(0).Live() {
+		t.Fatal("first decision must be sampled")
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	tr := New(Options{Shards: 1, BufferPerShard: 4})
+	tr.setNow(fakeClock(10))
+	for i := 0; i < 10; i++ {
+		ctx := tr.Event(0)
+		sp := ctx.Start("serve.read")
+		sp.End()
+	}
+	recs := tr.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("retained %d, want ring capacity 4", len(recs))
+	}
+	// The newest 4 spans survive.
+	if recs[len(recs)-1].Trace != 10 {
+		t.Fatalf("newest retained trace %d, want 10", recs[len(recs)-1].Trace)
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped %d, want 6", tr.Dropped())
+	}
+}
+
+func TestArgOverflowDropped(t *testing.T) {
+	tr := New(Options{Shards: 1})
+	ctx := tr.Event(0)
+	sp := ctx.Start("x")
+	keys := make([]string, MaxArgs+4)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+	}
+	for i, k := range keys {
+		sp.Arg(k, int64(i))
+	}
+	sp.End()
+	recs := tr.Snapshot()
+	if recs[0].NArgs != MaxArgs {
+		t.Fatalf("kept %d args, want cap %d", recs[0].NArgs, MaxArgs)
+	}
+}
+
+func TestNilAndDeadPathsSafe(t *testing.T) {
+	var tr *Tracer
+	ctx := tr.Event(3)
+	if ctx.Live() {
+		t.Fatal("nil tracer context must be dead")
+	}
+	sp := ctx.Start("x")
+	sp.Arg("a", 1)
+	sp.ArgStr("b", "c")
+	sp.End()
+	if sp.ID() != 0 {
+		t.Fatal("dead span must have id 0")
+	}
+	if recs := tr.Snapshot(); recs != nil {
+		t.Fatal("nil tracer snapshot must be nil")
+	}
+	if d, s := tr.Traces(); d != 0 || s != 0 {
+		t.Fatal("nil tracer has no traces")
+	}
+}
+
+// TestTraceHotPathAllocs pins the package's own discipline: the
+// disabled path, the not-sampled path, AND the sampled path allocate
+// nothing (rings are preallocated; spans live on the stack).
+func TestTraceHotPathAllocs(t *testing.T) {
+	t.Run("disabled", func(t *testing.T) {
+		var tr *Tracer
+		allocs := testing.AllocsPerRun(100, func() {
+			ctx := tr.Event(0)
+			sp := ctx.Start("atlas.apply_event")
+			sp.Arg("rounds", 1)
+			sp.End()
+		})
+		if allocs != 0 {
+			t.Fatalf("disabled path allocates %v/op, want 0", allocs)
+		}
+	})
+	t.Run("not-sampled", func(t *testing.T) {
+		tr := New(Options{Shards: 1, SampleEvery: 1 << 30})
+		tr.Event(0) // consume the sampled first decision
+		allocs := testing.AllocsPerRun(100, func() {
+			ctx := tr.Event(0)
+			sp := ctx.Start("atlas.apply_event")
+			sp.Arg("rounds", 1)
+			sp.End()
+		})
+		if allocs != 0 {
+			t.Fatalf("not-sampled path allocates %v/op, want 0", allocs)
+		}
+	})
+	t.Run("sampled", func(t *testing.T) {
+		tr := New(Options{Shards: 1, BufferPerShard: 64})
+		allocs := testing.AllocsPerRun(100, func() {
+			ctx := tr.Event(0)
+			sp := ctx.Start("atlas.apply_event")
+			sp.Arg("rounds", 1)
+			child := ctx.StartChild(sp.ID(), "atlas.plane_red")
+			child.Arg("changed", 3)
+			child.End()
+			sp.End()
+		})
+		if allocs != 0 {
+			t.Fatalf("sampled path allocates %v/op, want 0", allocs)
+		}
+	})
+}
+
+// TestConcurrentWriters drives many goroutines into a shared shard and
+// across shards; run under -race in CI.
+func TestConcurrentWriters(t *testing.T) {
+	tr := New(Options{Shards: 2, BufferPerShard: 128})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx := tr.Event(w)
+				sp := ctx.Start("serve.read")
+				sp.Arg("i", int64(i))
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	recs := tr.Snapshot()
+	if len(recs) != 256 {
+		t.Fatalf("retained %d, want both rings full (256)", len(recs))
+	}
+}
