@@ -695,6 +695,13 @@ func (st *State) apply(ev scenario.Event) error {
 			return fmt.Errorf("atlas: withdraw at %d but shard destination is %d (atlas scripts must be destination-independent)", ev.Node, st.dest)
 		}
 		st.withdrawn = true
+	case scenario.OpDegradeLink, scenario.OpGrayLink, scenario.OpClearLink:
+		// Link-quality events are data-plane only: sessions stay up and
+		// no route changes, so the convergence engine accepts them as
+		// routing no-ops (the link must exist, to catch script bugs).
+		if g.entryIndex(ev.A, ev.B) < 0 {
+			return fmt.Errorf("atlas: no link %d--%d", ev.A, ev.B)
+		}
 	default:
 		return fmt.Errorf("atlas: unknown op %v", ev.Op)
 	}
@@ -1124,6 +1131,8 @@ func (st *State) seedEventFrontier(group []scenario.Event) {
 			}
 		case scenario.OpWithdraw:
 			st.frontAdd(int32(ev.Node))
+		case scenario.OpDegradeLink, scenario.OpGrayLink, scenario.OpClearLink:
+			// Quality events change no routes; nothing to reseed.
 		}
 	}
 }

@@ -43,7 +43,8 @@ func TestIncrementalMatchesScratch(t *testing.T) {
 	for _, kind := range []scenario.Kind{
 		scenario.SingleLink, scenario.TwoLinksApart, scenario.TwoLinksShared,
 		scenario.NodeFailure, scenario.LinkFlap, scenario.FlapStorm,
-		scenario.PrefixWithdraw,
+		scenario.PrefixWithdraw, scenario.LatencyBrownout,
+		scenario.GrayFailure, scenario.OscillatingCongestion,
 	} {
 		t.Run(kind.String(), func(t *testing.T) {
 			script, err := scenario.PickScript(tg, multihomed, kind, rand.New(rand.NewSource(21)))

@@ -173,6 +173,12 @@ func (st *MapState) apply(ev scenario.Event) error {
 			return fmt.Errorf("atlas: withdraw at %d but shard destination is %d (atlas scripts must be destination-independent)", ev.Node, st.dest)
 		}
 		st.withdrawn = true
+	case scenario.OpDegradeLink, scenario.OpGrayLink, scenario.OpClearLink:
+		// Routing no-op, same as the flat engine: quality damage is
+		// invisible to the control plane.
+		if g.entryIndex(ev.A, ev.B) < 0 {
+			return fmt.Errorf("atlas: no link %d--%d", ev.A, ev.B)
+		}
 	default:
 		return fmt.Errorf("atlas: unknown op %v", ev.Op)
 	}
@@ -464,6 +470,8 @@ func (st *MapState) seedEventFrontier(group []scenario.Event) {
 			}
 		case scenario.OpWithdraw:
 			st.front[int32(ev.Node)] = true
+		case scenario.OpDegradeLink, scenario.OpGrayLink, scenario.OpClearLink:
+			// Quality events change no routes; nothing to reseed.
 		}
 	}
 }

@@ -111,21 +111,24 @@ func Repeatable(events []scenario.Event) error { return repeatableScript(events)
 // repeatableScript reports whether a script can be cycled: link events
 // only (node failures are permanent, withdrawals single-shot) and every
 // link restore-balanced, so each cycle ends on the topology the next
-// one expects.
+// one expects. Link-quality events cycle when every degraded or grayed
+// link ends cleared.
 func repeatableScript(events []scenario.Event) error {
 	balance := make(map[[2]topology.ASN]int)
+	quality := make(map[[2]topology.ASN]bool)
 	for _, ev := range events {
 		switch ev.Op {
 		case scenario.OpFailLink, scenario.OpRestoreLink:
-			k := [2]topology.ASN{ev.A, ev.B}
-			if k[1] < k[0] {
-				k[0], k[1] = k[1], k[0]
-			}
+			k := linkKey(ev)
 			if ev.Op == scenario.OpFailLink {
 				balance[k]++
 			} else {
 				balance[k]--
 			}
+		case scenario.OpDegradeLink, scenario.OpGrayLink:
+			quality[linkKey(ev)] = true
+		case scenario.OpClearLink:
+			delete(quality, linkKey(ev))
 		default:
 			return fmt.Errorf("atlas: replay repeat needs a restore-balanced link script; %v cannot cycle", ev.Op)
 		}
@@ -135,7 +138,19 @@ func repeatableScript(events []scenario.Event) error {
 			return fmt.Errorf("atlas: replay repeat needs a restore-balanced script; link %d--%d ends %+d fails after one cycle", k[0], k[1], v)
 		}
 	}
+	for k := range quality {
+		return fmt.Errorf("atlas: replay repeat needs quality damage cleared by cycle end; link %d--%d ends degraded", k[0], k[1])
+	}
 	return nil
+}
+
+// linkKey normalizes a link event's endpoints for balance bookkeeping.
+func linkKey(ev scenario.Event) [2]topology.ASN {
+	k := [2]topology.ASN{ev.A, ev.B}
+	if k[1] < k[0] {
+		k[0], k[1] = k[1], k[0]
+	}
+	return k
 }
 
 // Replay streams the scenario script through the incremental engine at

@@ -74,6 +74,8 @@ func Main(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		return e.cmdFlood(rest)
 	case "atlas":
 		return e.cmdAtlas(rest)
+	case "steer":
+		return e.cmdSteer(rest)
 	case "topo":
 		return e.cmdTopo(rest)
 	case "asrel":
@@ -103,6 +105,9 @@ subcommands:
                     (sugar for: run loss)
   atlas             internet-scale convergence on the flat CSR engine
                     (sugar for: run atlas-converge; -loss for atlas-loss)
+  steer             four-arm latency steering grid: BGP / R-BGP / locked
+                    STAMP / STAMP-steer (sugar for: run steer-latency;
+                    -loss for steer-loss)
   topo              generate a synthetic AS topology (CAIDA AS-rel format),
                     or print -stats for any graph (-in loads a snapshot)
   asrel             infer AS relationships from AS paths (Gao's algorithm)

@@ -57,6 +57,9 @@ func TestExitCodes(t *testing.T) {
 		{"topo stats with snapshot flags", []string{"topo", "-in", "/no/such/file", "-tier1", "9"}, ExitUsage},
 		{"flood bad backend", []string{"flood", "-backend", "quantum", "-n", "50"}, ExitFailure},
 		{"topo ok", []string{"topo", "-n", "30"}, ExitOK},
+		{"steer -h is success", []string{"steer", "-h"}, ExitOK},
+		{"steer bad scenario", []string{"steer", "-n", "60", "-scenario", "meteor-strike"}, ExitFailure},
+		{"steer bad protocol", []string{"steer", "-n", "60", "-protocol", "ospf"}, ExitFailure},
 		{"serve -h is success", []string{"serve", "-h"}, ExitOK},
 		{"serve bad flag", []string{"serve", "-badflag"}, ExitUsage},
 		{"serve bad scenario", []string{"serve", "-scenario", "meteor-strike"}, ExitUsage},
@@ -344,6 +347,61 @@ func TestServeSwarmCLI(t *testing.T) {
 		"-replay", "-swarm", "2", "-duration", "500ms", "-slo", "0.000001")
 	if code != ExitFailure {
 		t.Errorf("impossible SLO: exit %d (stderr: %s), want %d", code, stderr, ExitFailure)
+	}
+}
+
+// TestSteerCLI: `stamp steer` runs the four-arm latency steering grid
+// end to end — the brownout preset, the -loss gray-failure preset, and
+// the policy tuning flags reaching the experiment request.
+func TestSteerCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	code, stdout, stderr := run(t, "steer",
+		"-n", "80", "-trials", "2", "-seed", "5", "-ticks", "120", "-json")
+	if code != ExitOK {
+		t.Fatalf("steer exit %d (stderr: %s)", code, stderr)
+	}
+	var env struct {
+		Experiment string `json:"experiment"`
+		Scenario   string `json:"scenario"`
+		Data       struct {
+			Arms []struct {
+				Protocol string `json:"protocol"`
+			} `json:"arms"`
+			Ratio float64 `json:"steer_vs_locked_latency_ratio"`
+		} `json:"data"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Experiment != "steer-latency" || env.Scenario != "latency-brownout" || len(env.Data.Arms) != 4 {
+		t.Errorf("envelope = %+v, want the four-arm steer-latency grid on latency-brownout", env)
+	}
+	if env.Data.Ratio <= 0 {
+		t.Errorf("steer_vs_locked_latency_ratio = %v, want > 0", env.Data.Ratio)
+	}
+	// -loss swaps the preset; the tuning flags reach the policy config.
+	code, stdout, stderr = run(t, "steer", "-loss",
+		"-n", "80", "-trials", "1", "-seed", "5", "-ticks", "80",
+		"-protocol", "stamp,stamp-steer", "-steer-n", "2", "-steer-cooldown", "15", "-json")
+	if code != ExitOK {
+		t.Fatalf("steer -loss exit %d (stderr: %s)", code, stderr)
+	}
+	var loss struct {
+		Experiment string `json:"experiment"`
+		Data       struct {
+			Config struct {
+				Consecutive   int `json:"consecutive"`
+				CooldownTicks int `json:"cooldown_ticks"`
+			} `json:"steer_config"`
+		} `json:"data"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &loss); err != nil {
+		t.Fatal(err)
+	}
+	if loss.Experiment != "steer-loss" || loss.Data.Config.Consecutive != 2 || loss.Data.Config.CooldownTicks != 15 {
+		t.Errorf("steer -loss envelope = %+v, want steer-loss with consecutive=2 cooldown=15", loss)
 	}
 }
 

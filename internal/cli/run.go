@@ -8,6 +8,7 @@ import (
 
 	"stamp/internal/lab"
 	"stamp/internal/scenario"
+	"stamp/internal/steer"
 )
 
 // requestFlags is the one flag surface every experiment-running
@@ -34,6 +35,13 @@ type requestFlags struct {
 	loadFor   *time.Duration
 	jsonOut   *bool
 	progress  *bool
+
+	// Steering-policy tuning (steer experiments; 0 = policy default).
+	steerDegrade  *float64
+	steerComfort  *float64
+	steerMax      *float64
+	steerN        *int
+	steerCooldown *int
 }
 
 func addRequestFlags(fs *flag.FlagSet) *requestFlags {
@@ -57,6 +65,12 @@ func addRequestFlags(fs *flag.FlagSet) *requestFlags {
 		loadFor:   fs.Duration("load-for", 0, "measurement window for load experiments (0 = default)"),
 		jsonOut:   fs.Bool("json", false, "emit the result envelope as JSON on stdout"),
 		progress:  fs.Bool("progress", false, "report shard progress on stderr"),
+
+		steerDegrade:  fs.Float64("steer-degrade-ms", 0, "steering: unhealthy when this far above baseline (0 = default)"),
+		steerComfort:  fs.Float64("steer-comfort-ms", 0, "steering: comfortable within this margin of baseline (0 = default)"),
+		steerMax:      fs.Float64("steer-max-ms", 0, "steering: absolute unhealthy latency cap (0 = default)"),
+		steerN:        fs.Int("steer-n", 0, "steering: consecutive unhealthy ticks before a switch (0 = default)"),
+		steerCooldown: fs.Int("steer-cooldown", 0, "steering: ticks between switches per source (0 = default, negative = none)"),
 	}
 }
 
@@ -88,8 +102,15 @@ func (f *requestFlags) request(e env, experiment string) (lab.Request, error) {
 		TopoSeeds:  seeds,
 		Readers:    *f.readers,
 		LoadFor:    *f.loadFor,
-		Progress:   e.progressFn(*f.progress),
-		Context:    e.ctx,
+		Steer: steer.Config{
+			DegradeMs:     *f.steerDegrade,
+			ComfortMs:     *f.steerComfort,
+			AbsMaxMs:      *f.steerMax,
+			Consecutive:   *f.steerN,
+			CooldownTicks: *f.steerCooldown,
+		},
+		Progress: e.progressFn(*f.progress),
+		Context:  e.ctx,
 	}, nil
 }
 
@@ -233,6 +254,33 @@ func (e env) cmdAtlas(args []string) int {
 	}
 	req.TracePath = *tracePath
 	req.TraceSample = *traceN
+	res, err := lab.Run(req)
+	if err != nil {
+		return e.fail(err)
+	}
+	return e.emit(res, *f.jsonOut)
+}
+
+// cmdSteer is `stamp steer` — the four-arm latency steering grid,
+// sugar for `stamp run steer-latency` (or steer-loss with -loss). The
+// policy knobs (-steer-n, -steer-cooldown, ...) live on the shared
+// request surface so `stamp run steer-latency` accepts them too.
+func (e env) cmdSteer(args []string) int {
+	fs := e.flagSet("stamp steer")
+	f := addRequestFlags(fs)
+	loss := fs.Bool("loss", false, "measure under gray failures instead of latency brownouts (steer-loss)")
+	if code, done := parse(fs, args); done {
+		return code
+	}
+	name := "steer-latency"
+	if *loss {
+		name = "steer-loss"
+	}
+	req, err := f.request(e, name)
+	if err != nil {
+		fmt.Fprintln(e.stderr, "stamp steer:", err)
+		return ExitUsage
+	}
 	res, err := lab.Run(req)
 	if err != nil {
 		return e.fail(err)

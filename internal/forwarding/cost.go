@@ -1,0 +1,99 @@
+package forwarding
+
+import "stamp/internal/topology"
+
+// CostFunc reports the latency (milliseconds) and gray-loss rate of the
+// link a--b. Implementations are direction-agnostic; callers pass the
+// two endpoints in walk order.
+type CostFunc func(a, b topology.ASN) (latMs, lossRate float64)
+
+// costResult is a classification outcome plus the path cost accumulated
+// so far: end-to-end latency and survival probability (the chance a
+// packet crosses every gray-lossy link), both valid only on delivery.
+type costResult struct {
+	r    Result
+	lat  float32
+	surv float32
+}
+
+// ClassifyRBGPCost is ClassifyRBGP with a link-cost model attached: the
+// same memoized (current, previous)-keyed walk, additionally summing
+// latency and multiplying survival along every delivered path —
+// primary hops and pinned failover paths alike. The Result slice is
+// identical to ClassifyRBGP's (equivalence-tested); lat[v] is -1 and
+// surv[v] 0 for sources whose packets never arrive.
+func ClassifyRBGPCost(n int, dest topology.ASN, st RBGPState, cost CostFunc, lat, surv []float32) []Result {
+	state := make(map[int64]uint8)
+	hops := make(map[int64]int32)
+	lats := make(map[int64]float32)
+	survs := make(map[int64]float32)
+	key := func(cur, prev topology.ASN) int64 {
+		return int64(cur)*int64(n+1) + int64(prev) + 1
+	}
+	link := func(r costResult, from, to topology.ASN) costResult {
+		if r.r.Status != Delivered {
+			return r
+		}
+		l, p := cost(from, to)
+		return costResult{Result{Delivered, r.r.Hops + 1}, r.lat + float32(l), r.surv * float32(1-p)}
+	}
+	var walk func(cur, prev topology.ASN) costResult
+	walk = func(cur, prev topology.ASN) costResult {
+		if cur == dest {
+			return costResult{Result{Delivered, 0}, 0, 1}
+		}
+		k := key(cur, prev)
+		if s := state[k]; s >= doneBase {
+			return costResult{Result{Status(s - doneBase), hops[k]}, lats[k], survs[k]}
+		} else if s == stVisiting {
+			return costResult{Result{Loop, NoHops}, -1, 0}
+		}
+		state[k] = stVisiting
+		var r costResult
+		nh, ok := st.Primary(cur)
+		switch {
+		case ok && nh == cur:
+			r = costResult{Result{Delivered, 0}, 0, 1}
+		case ok && nh != prev:
+			r = link(walk(nh, cur), cur, nh)
+		default:
+			r = walkPinnedCost(cur, st.Deflect(cur, prev), st, cost)
+		}
+		state[k] = doneBase + uint8(r.r.Status)
+		hops[k] = r.r.Hops
+		lats[k], survs[k] = r.lat, r.surv
+		return r
+	}
+	out := make([]Result, n)
+	for v := 0; v < n; v++ {
+		cr := walk(topology.ASN(v), -1)
+		out[v] = cr.r
+		if cr.r.Status == Delivered {
+			lat[v], surv[v] = cr.lat, cr.surv
+		} else {
+			lat[v], surv[v] = -1, 0
+		}
+	}
+	return out
+}
+
+// walkPinnedCost is walkPinned with cost accumulation along the pinned
+// failover path.
+func walkPinnedCost(from topology.ASN, path []topology.ASN, st RBGPState, cost CostFunc) costResult {
+	if len(path) == 0 {
+		return costResult{Result{Blackhole, NoHops}, -1, 0}
+	}
+	cur := from
+	var lat float32
+	surv := float32(1)
+	for _, next := range path {
+		if !st.LinkUp(cur, next) {
+			return costResult{Result{Blackhole, NoHops}, -1, 0}
+		}
+		l, p := cost(cur, next)
+		lat += float32(l)
+		surv *= float32(1 - p)
+		cur = next
+	}
+	return costResult{Result{Delivered, int32(len(path))}, lat, surv}
+}

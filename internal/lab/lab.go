@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"stamp/internal/experiments"
+	"stamp/internal/steer"
 	"stamp/internal/topology"
 	"stamp/internal/traffic"
 )
@@ -101,6 +102,9 @@ type Request struct {
 	// NoDiff skips the sim-reference differential validation on emu
 	// runs (the live measurement still happens).
 	NoDiff bool
+	// Steer tunes the steering policy for steer experiments (zero
+	// values = policy defaults; see steer.DefaultConfig).
+	Steer steer.Config
 	// TracePath, when non-empty, makes stream experiments
 	// (atlas-replay) record causal convergence spans and write them as
 	// a Chrome trace-event JSON to this file (loadable in Perfetto).

@@ -37,6 +37,8 @@ func schemaRequests() map[string]Request {
 		"ablation_lock":       {Experiment: "ablation/lock", Topo: TopoSpec{N: 80}},
 		"ablation_mrai":       {Experiment: "ablation/mrai", Topo: TopoSpec{N: 60}, Trials: 1},
 		"loss_sim":            {Experiment: "loss", Backend: "sim", Topo: TopoSpec{N: 60}, Trials: 1, Ticks: 100, Protocols: []string{"bgp", "stamp"}},
+		"steer-latency":       {Experiment: "steer-latency", Topo: TopoSpec{N: 60}, Trials: 1, Ticks: 60},
+		"steer-loss":          {Experiment: "steer-loss", Topo: TopoSpec{N: 60}, Trials: 1, Ticks: 60, Protocols: []string{"stamp", "stamp-steer"}},
 		"loss_emu":            {Experiment: "loss", Backend: "emu", Topo: TopoSpec{N: 40}, Ticks: 30},
 		"emu-converge_emu":    {Experiment: "emu-converge", Backend: "emu", Topo: TopoSpec{N: 40}},
 		"emu-converge_sim":    {Experiment: "emu-converge", Backend: "sim", Topo: TopoSpec{N: 40}},

@@ -1,0 +1,64 @@
+package lab
+
+import (
+	"stamp/internal/steer"
+	"stamp/internal/traffic"
+)
+
+// The steering experiments: the four-arm user-perceived-latency grid
+// (BGP / R-BGP / color-locked STAMP / STAMP-steer) from internal/steer,
+// preset per quality-workload family. Both presets honor -scenario, so
+// `stamp run steer-latency -scenario oscillating-congestion` measures
+// flap damping without a third registry entry.
+func init() {
+	Register(Experiment{
+		Name: "steer-latency", Desc: "four-arm latency steering grid: does health-driven color steering beat locked STAMP under latency brownouts?",
+		DefaultN:        400,
+		DefaultScenario: "latency-brownout",
+		Run:             runSteer,
+	})
+	Register(Experiment{
+		Name: "steer-loss", Desc: "four-arm latency steering grid under gray failures (silent packet loss instead of latency inflation)",
+		DefaultN:        400,
+		DefaultScenario: "gray-failure",
+		Run:             runSteer,
+	})
+}
+
+// steerProtocols parses the request's arms for the steering grid (nil =
+// the default four: bgp, rbgp, stamp, stamp-steer).
+func (r Request) steerProtocols() ([]traffic.Protocol, error) {
+	if len(r.Protocols) == 0 {
+		return nil, nil
+	}
+	out := make([]traffic.Protocol, len(r.Protocols))
+	for i, name := range r.Protocols {
+		p, err := traffic.ParseProtocol(name)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+func runSteer(req Request) (*Result, error) {
+	g, err := req.graph()
+	if err != nil {
+		return nil, err
+	}
+	protos, err := req.steerProtocols()
+	if err != nil {
+		return nil, err
+	}
+	res, err := steer.RunGrid(steer.GridOpts{
+		G: g, Trials: req.Trials, Seed: req.Seed, Scenario: req.Scenario,
+		Protocols: protos, Flows: req.Flows, Tick: req.Tick, Ticks: req.Ticks,
+		Config: req.Steer, Workers: req.Workers,
+		Progress: req.Progress, Context: req.ctx(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return req.envelope(req.Experiment, "sim", g, res), nil
+}

@@ -1,0 +1,251 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stamp/internal/topology"
+)
+
+// The kind-descriptor table is the single registry of workload kinds:
+// one row per Kind holding its CLI spelling(s), figure label, picker,
+// and script layout. ParseKind, String, Names, Pick, and ScriptFor all
+// derive from it, so adding a workload kind is one new row (plus its
+// pick/layout functions) instead of edits to five switch statements —
+// and TestKindTableCovers fails the build-time registry when a Kind
+// constant lacks a row.
+type kindDesc struct {
+	kind Kind
+	// name is the canonical CLI spelling; aliases are additionally
+	// accepted by ParseKind.
+	name    string
+	aliases []string
+	// label is the human-readable figure name String() returns.
+	label string
+	// pick instantiates the workload after the destination draw. ok
+	// false means "resample a destination" (the draw hit a structural
+	// dead end); a non-nil error aborts the pick outright. Pickers must
+	// consume the rng in a deterministic order — the stream is pinned by
+	// determinism tests at every harness level.
+	pick func(g Topo, dest topology.ASN, rng *rand.Rand) (Set, bool, error)
+	// script lays a picked set out as the kind's canonical event stream.
+	script func(name string, s Set) Script
+}
+
+// kindTable is indexed by Kind value; initKindTable verifies the
+// alignment at package load.
+var kindTable = []kindDesc{
+	{
+		kind: SingleLink, name: "single-link", aliases: []string{"link-failure"},
+		label:  "single link failure",
+		pick:   pickDestProviderLink,
+		script: FromSet,
+	},
+	{
+		kind: TwoLinksApart, name: "two-links-apart",
+		label:  "two link failures (no shared AS)",
+		pick:   pickTwoLinksApart,
+		script: FromSet,
+	},
+	{
+		kind: TwoLinksShared, name: "two-links-shared",
+		label:  "two link failures (shared AS)",
+		pick:   pickTwoLinksShared,
+		script: FromSet,
+	},
+	{
+		kind: NodeFailure, name: "node-failure",
+		label:  "single node failure",
+		pick:   pickNodeFailure,
+		script: FromSet,
+	},
+	{
+		kind: LinkFlap, name: "link-flap",
+		label:  "link flap (repeated fail/restore)",
+		pick:   pickDestProviderLink,
+		script: FlapScript,
+	},
+	{
+		kind: PrefixWithdraw, name: "prefix-withdraw",
+		label:  "prefix withdraw",
+		pick:   pickWithdraw,
+		script: WithdrawScript,
+	},
+	{
+		kind: FlapStorm, name: "flap-storm",
+		label:  "flap storm (many concurrent link flaps)",
+		pick:   pickStorm,
+		script: StormScript,
+	},
+	{
+		kind: LatencyBrownout, name: "latency-brownout",
+		label:  "latency brownout (link latency ramps up without failing)",
+		pick:   pickDestProviderLink,
+		script: BrownoutScript,
+	},
+	{
+		kind: GrayFailure, name: "gray-failure",
+		label:  "gray failure (probabilistic loss, sessions alive)",
+		pick:   pickDestProviderLink,
+		script: GrayScript,
+	},
+	{
+		kind: OscillatingCongestion, name: "oscillating-congestion",
+		label:  "oscillating congestion (periodic latency swings)",
+		pick:   pickTwoDestProviderLinks,
+		script: OscillationScript,
+	},
+}
+
+func init() {
+	if len(kindTable) != int(kindCount) {
+		panic(fmt.Sprintf("scenario: kind table has %d rows for %d kinds", len(kindTable), kindCount))
+	}
+	for i, d := range kindTable {
+		if d.kind != Kind(i) {
+			panic(fmt.Sprintf("scenario: kind table row %d describes %d", i, int(d.kind)))
+		}
+		if d.name == "" || d.label == "" || d.pick == nil || d.script == nil {
+			panic(fmt.Sprintf("scenario: incomplete descriptor for kind %d", i))
+		}
+	}
+}
+
+// desc returns the kind's descriptor.
+func desc(k Kind) (kindDesc, bool) {
+	if k < 0 || int(k) >= len(kindTable) {
+		return kindDesc{}, false
+	}
+	return kindTable[k], true
+}
+
+// String names the kind as in the paper's figures.
+func (k Kind) String() string {
+	if d, ok := desc(k); ok {
+		return d.label
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// MarshalText renders the kind by name in JSON reports.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// ParseKind maps the CLI spelling of a failure kind to its value.
+func ParseKind(s string) (Kind, error) {
+	for _, d := range kindTable {
+		if s == d.name {
+			return d.kind, nil
+		}
+		for _, a := range d.aliases {
+			if s == a {
+				return d.kind, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("unknown scenario %q (want one of: %v)", s, Names())
+}
+
+// Names lists the script names ParseKind accepts, canonical spelling
+// first per kind.
+func Names() []string {
+	var out []string
+	for _, d := range kindTable {
+		out = append(out, d.name)
+		out = append(out, d.aliases...)
+	}
+	return out
+}
+
+// The per-kind pickers. Each runs after the destination draw of Pick's
+// resample loop and must consume the rng in a fixed order.
+
+// pickWithdraw places no failure — the workload is just the origin. The
+// provider draw is skipped so the RNG stream matches the historical
+// scenario.Named derivation.
+func pickWithdraw(_ Topo, dest topology.ASN, _ *rand.Rand) (Set, bool, error) {
+	return Set{Dest: dest, Node: -1}, true, nil
+}
+
+// pickStorm draws the degree-weighted storm link set.
+func pickStorm(g Topo, dest topology.ASN, rng *rand.Rand) (Set, bool, error) {
+	links, err := pickStormLinks(g, rng)
+	if err != nil {
+		return Set{}, false, err
+	}
+	return Set{Dest: dest, Links: links, Node: -1}, true, nil
+}
+
+// pickDestProviderLink draws one provider link of the destination — the
+// single-link shape, shared by link failure, flap, and the link-quality
+// kinds (brownout, gray failure), which degrade rather than fail it.
+func pickDestProviderLink(g Topo, dest topology.ASN, rng *rand.Rand) (Set, bool, error) {
+	provs := g.Providers(dest)
+	p := provs[rng.Intn(len(provs))]
+	return Set{Dest: dest, Links: [][2]topology.ASN{{dest, p}}, Node: -1}, true, nil
+}
+
+// pickNodeFailure fails an entire provider AS of the destination.
+func pickNodeFailure(g Topo, dest topology.ASN, rng *rand.Rand) (Set, bool, error) {
+	provs := g.Providers(dest)
+	p := provs[rng.Intn(len(provs))]
+	return Set{Dest: dest, Node: p}, true, nil
+}
+
+// pickTwoLinksShared fails a provider link of the destination and a
+// provider link of that same provider — Figure 3(b).
+func pickTwoLinksShared(g Topo, dest topology.ASN, rng *rand.Rand) (Set, bool, error) {
+	provs := g.Providers(dest)
+	p := provs[rng.Intn(len(provs))]
+	pp := g.Providers(p)
+	if len(pp) == 0 {
+		return Set{}, false, nil // p is tier-1; resample
+	}
+	return Set{
+		Dest:  dest,
+		Links: [][2]topology.ASN{{dest, p}, {p, pp[rng.Intn(len(pp))]}},
+		Node:  -1,
+	}, true, nil
+}
+
+// pickTwoLinksApart fails a provider link of the destination and an
+// indirect provider link multiple hops away, not sharing any AS —
+// Figure 3(a).
+func pickTwoLinksApart(g Topo, dest topology.ASN, rng *rand.Rand) (Set, bool, error) {
+	provs := g.Providers(dest)
+	p := provs[rng.Intn(len(provs))]
+	link2, ok := pickIndirectProviderLink(g, dest, p, rng)
+	if !ok {
+		return Set{}, false, nil
+	}
+	return Set{
+		Dest:  dest,
+		Links: [][2]topology.ASN{{dest, p}, link2},
+		Node:  -1,
+	}, true, nil
+}
+
+// pickTwoDestProviderLinks draws two distinct provider links of the
+// destination, for workloads that move congestion between them. The
+// destination is multi-homed by construction, so two providers exist.
+func pickTwoDestProviderLinks(g Topo, dest topology.ASN, rng *rand.Rand) (Set, bool, error) {
+	provs := g.Providers(dest)
+	p := provs[rng.Intn(len(provs))]
+	// Draw the second among the remaining providers by index offset, so
+	// exactly two rng values are consumed whatever the provider count.
+	rest := rng.Intn(len(provs) - 1)
+	q := provs[(int(indexOf(provs, p))+1+rest)%len(provs)]
+	return Set{
+		Dest:  dest,
+		Links: [][2]topology.ASN{{dest, p}, {dest, q}},
+		Node:  -1,
+	}, true, nil
+}
+
+func indexOf(provs []topology.ASN, p topology.ASN) int {
+	for i, v := range provs {
+		if v == p {
+			return i
+		}
+	}
+	return 0
+}

@@ -1,0 +1,187 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+
+	"stamp/internal/topology"
+)
+
+// TestKindTableCovers is the registry-coverage gate: every Kind constant
+// must have a complete descriptor row, the row's name must round-trip
+// through ParseKind, and the label must not be the raw fallback. Adding
+// a Kind without a kindTable row fails here (and panics package init if
+// the counts diverge).
+func TestKindTableCovers(t *testing.T) {
+	if len(kindTable) != int(kindCount) {
+		t.Fatalf("kindTable has %d rows for %d kinds", len(kindTable), kindCount)
+	}
+	seen := map[string]Kind{}
+	for k := Kind(0); k < kindCount; k++ {
+		d, ok := desc(k)
+		if !ok {
+			t.Fatalf("kind %d has no descriptor", int(k))
+		}
+		if d.kind != k {
+			t.Errorf("descriptor row for kind %d claims kind %d", int(k), int(d.kind))
+		}
+		if d.name == "" || d.label == "" || d.pick == nil || d.script == nil {
+			t.Errorf("kind %v: incomplete descriptor %+v", k, d)
+		}
+		for _, name := range append([]string{d.name}, d.aliases...) {
+			if prev, dup := seen[name]; dup {
+				t.Errorf("spelling %q claimed by both %v and %v", name, prev, k)
+			}
+			seen[name] = k
+			got, err := ParseKind(name)
+			if err != nil || got != k {
+				t.Errorf("ParseKind(%q) = %v, %v; want %v", name, got, err, k)
+			}
+		}
+		if k.String() == "" || k.String()[0] == 'K' {
+			t.Errorf("kind %d has fallback label %q", int(k), k.String())
+		}
+	}
+	if _, err := ParseKind("no-such-kind"); err == nil {
+		t.Error("ParseKind accepted an unknown spelling")
+	}
+	if kindCount.String() == Kind(kindCount).String() && kindCount.String()[0] != 'K' {
+		t.Errorf("kindCount sentinel unexpectedly has a label: %q", kindCount.String())
+	}
+}
+
+// TestQualityKindScripts pins the shape of the three link-quality
+// workloads: quality ops only, valid magnitudes, links drawn among the
+// destination's provider links, and the oscillation restore-balanced.
+func TestQualityKindScripts(t *testing.T) {
+	g := testGraph(t)
+	mh := Multihomed(g)
+	for _, k := range []Kind{LatencyBrownout, GrayFailure, OscillatingCongestion} {
+		sc, err := PickScript(g, mh, k, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if len(sc.Events) == 0 {
+			t.Fatalf("%v: empty script", k)
+		}
+		dirty := map[[2]topology.ASN]bool{}
+		for _, ev := range sc.Events {
+			if !ev.Op.Quality() {
+				t.Fatalf("%v: non-quality op %v in script", k, ev.Op)
+			}
+			key := [2]topology.ASN{ev.A, ev.B}
+			switch ev.Op {
+			case OpDegradeLink:
+				if ev.Mag <= 1 {
+					t.Errorf("%v: degrade multiplier %g not > 1", k, ev.Mag)
+				}
+				dirty[key] = true
+			case OpGrayLink:
+				if ev.Mag <= 0 || ev.Mag >= 1 {
+					t.Errorf("%v: gray loss rate %g outside (0,1)", k, ev.Mag)
+				}
+				dirty[key] = true
+			case OpClearLink:
+				delete(dirty, key)
+			}
+			if g.Rel(ev.A, ev.B) == topology.RelNone {
+				t.Errorf("%v: quality link %d--%d not in topology", k, ev.A, ev.B)
+			}
+		}
+		switch k {
+		case OscillatingCongestion:
+			if len(dirty) != 0 {
+				t.Errorf("oscillation leaves %d links degraded; want restore-balanced", len(dirty))
+			}
+		default:
+			if len(dirty) == 0 {
+				t.Errorf("%v: persistent degradation expected, all links cleared", k)
+			}
+		}
+	}
+}
+
+// TestOscillationPicksTwoLinks verifies the oscillation draws two
+// distinct provider links of the same multi-homed destination.
+func TestOscillationPicksTwoLinks(t *testing.T) {
+	g := testGraph(t)
+	mh := Multihomed(g)
+	for seed := int64(0); seed < 20; seed++ {
+		s, err := Pick(g, mh, OscillatingCongestion, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Links) != 2 {
+			t.Fatalf("seed %d: %d links, want 2", seed, len(s.Links))
+		}
+		if s.Links[0] == s.Links[1] {
+			t.Errorf("seed %d: duplicate link %v", seed, s.Links[0])
+		}
+		for _, l := range s.Links {
+			if l[0] != s.Dest {
+				t.Errorf("seed %d: link %v does not hang off dest %d", seed, l, s.Dest)
+			}
+			if g.Rel(l[0], l[1]) != topology.RelProvider {
+				t.Errorf("seed %d: link %v is not a provider link of the dest", seed, l)
+			}
+		}
+	}
+}
+
+// quietExec implements only the base Executor; quality events must
+// no-op against it.
+type quietExec struct{ calls int }
+
+func (q *quietExec) FailLink(a, b topology.ASN) error    { q.calls++; return nil }
+func (q *quietExec) RestoreLink(a, b topology.ASN) error { q.calls++; return nil }
+func (q *quietExec) FailNode(a topology.ASN) error       { q.calls++; return nil }
+func (q *quietExec) Withdraw(d topology.ASN) error       { q.calls++; return nil }
+
+// qualExec additionally records quality calls.
+type qualExec struct {
+	quietExec
+	degrades, grays, clears int
+	lastMag                 float64
+}
+
+func (q *qualExec) DegradeLink(a, b topology.ASN, mult float64) error {
+	q.degrades++
+	q.lastMag = mult
+	return nil
+}
+func (q *qualExec) GrayLink(a, b topology.ASN, rate float64) error {
+	q.grays++
+	q.lastMag = rate
+	return nil
+}
+func (q *qualExec) ClearLink(a, b topology.ASN) error { q.clears++; return nil }
+
+// TestQualityOpsDispatch pins the Apply contract: quality ops reach a
+// QualityExecutor with their magnitude and silently no-op against a
+// plain Executor — the control plane must never see them.
+func TestQualityOpsDispatch(t *testing.T) {
+	evs := []Event{
+		{Op: OpDegradeLink, A: 1, B: 2, Mag: 4},
+		{Op: OpGrayLink, A: 1, B: 2, Mag: 0.25},
+		{Op: OpClearLink, A: 1, B: 2},
+	}
+	quiet := &quietExec{}
+	for _, ev := range evs {
+		if err := Apply(quiet, ev); err != nil {
+			t.Fatalf("quality op %v against plain executor: %v", ev.Op, err)
+		}
+	}
+	if quiet.calls != 0 {
+		t.Errorf("quality ops leaked %d control-plane calls", quiet.calls)
+	}
+	qual := &qualExec{}
+	for _, ev := range evs {
+		if err := Apply(qual, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if qual.degrades != 1 || qual.grays != 1 || qual.clears != 1 || qual.calls != 0 {
+		t.Errorf("quality dispatch = %d/%d/%d (control %d); want 1/1/1 (0)",
+			qual.degrades, qual.grays, qual.clears, qual.calls)
+	}
+}

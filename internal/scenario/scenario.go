@@ -39,7 +39,10 @@ type Topo interface {
 	IsMultihomed(a topology.ASN) bool
 }
 
-// Kind selects the failure workload of §6.2.
+// Kind selects the failure workload of §6.2 (plus the link-quality
+// workloads the steering arm added). Every Kind must have a row in
+// kindTable — the registry-coverage test and the package init both
+// enforce it.
 type Kind int
 
 const (
@@ -72,52 +75,27 @@ const (
 	// proportionally to degree), so storms concentrate where real
 	// instability does: on the big transit ASes.
 	FlapStorm
+	// LatencyBrownout ramps the latency of one destination provider
+	// link up in steps without ever failing it: sessions stay alive,
+	// routing never reacts, only the data plane suffers. The workload
+	// latency-aware steering exists for.
+	LatencyBrownout
+	// GrayFailure puts probabilistic packet loss on one destination
+	// provider link while BGP sessions stay up — the classic gray
+	// failure that is invisible to the control plane.
+	GrayFailure
+	// OscillatingCongestion moves a large latency swing back and forth
+	// between two provider links of the destination, period
+	// 2×FlapRestoreAfter, for OscCycles rounds — tuned to probe steering
+	// hysteresis: a hair-trigger policy chases the congestion and flaps,
+	// a damped one switches once and sits out the swings.
+	OscillatingCongestion
+
+	// kindCount counts the kinds; keep it last. kindTable must have
+	// exactly one row per kind — init panics and the registry-coverage
+	// test fails otherwise.
+	kindCount
 )
-
-// String names the kind as in the paper's figures.
-func (k Kind) String() string {
-	switch k {
-	case SingleLink:
-		return "single link failure"
-	case TwoLinksApart:
-		return "two link failures (no shared AS)"
-	case TwoLinksShared:
-		return "two link failures (shared AS)"
-	case NodeFailure:
-		return "single node failure"
-	case LinkFlap:
-		return "link flap (repeated fail/restore)"
-	case PrefixWithdraw:
-		return "prefix withdraw"
-	case FlapStorm:
-		return "flap storm (many concurrent link flaps)"
-	}
-	return fmt.Sprintf("Kind(%d)", int(k))
-}
-
-// MarshalText renders the kind by name in JSON reports.
-func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
-
-// ParseKind maps the CLI spelling of a failure kind to its value.
-func ParseKind(s string) (Kind, error) {
-	switch s {
-	case "single-link", "link-failure":
-		return SingleLink, nil
-	case "two-links-apart":
-		return TwoLinksApart, nil
-	case "two-links-shared":
-		return TwoLinksShared, nil
-	case "node-failure":
-		return NodeFailure, nil
-	case "link-flap":
-		return LinkFlap, nil
-	case "prefix-withdraw":
-		return PrefixWithdraw, nil
-	case "flap-storm":
-		return FlapStorm, nil
-	}
-	return 0, fmt.Errorf("unknown scenario %q (want single-link, two-links-apart, two-links-shared, node-failure, link-flap, prefix-withdraw, or flap-storm)", s)
-}
 
 // Set is one instantiated workload: the destination plus the links to
 // fail (for node failure, Node >= 0 instead).
@@ -141,53 +119,25 @@ func Multihomed(g Topo) []topology.ASN {
 
 // Pick draws a destination and failure set for the kind. multihomed is
 // the candidate destination list (Multihomed(g)); the same rng sequence
-// always yields the same workload.
+// always yields the same workload. The per-kind logic lives in the
+// descriptor table's pick functions.
 func Pick(g Topo, multihomed []topology.ASN, k Kind, rng *rand.Rand) (Set, error) {
+	d, ok := desc(k)
+	if !ok {
+		return Set{}, fmt.Errorf("scenario: unknown kind %d", int(k))
+	}
 	if len(multihomed) == 0 {
 		return Set{}, fmt.Errorf("scenario: topology has no multi-homed AS")
 	}
 	const maxTries = 1000
 	for try := 0; try < maxTries; try++ {
 		dest := multihomed[rng.Intn(len(multihomed))]
-		if k == PrefixWithdraw {
-			// No failure to place — the workload is just the origin. The
-			// provider draw below is skipped so the RNG stream matches the
-			// historical scenario.Named derivation.
-			return Set{Dest: dest, Node: -1}, nil
+		s, ok, err := d.pick(g, dest, rng)
+		if err != nil {
+			return Set{}, err
 		}
-		if k == FlapStorm {
-			links, err := pickStormLinks(g, rng)
-			if err != nil {
-				return Set{}, err
-			}
-			return Set{Dest: dest, Links: links, Node: -1}, nil
-		}
-		provs := g.Providers(dest)
-		p := provs[rng.Intn(len(provs))]
-		fs := Set{Dest: dest, Node: -1}
-		switch k {
-		case SingleLink, LinkFlap:
-			// A flap instantiates like a single link failure: the scripted
-			// fail/restore rounds are laid out by Named/FlapScript.
-			fs.Links = [][2]topology.ASN{{dest, p}}
-			return fs, nil
-		case NodeFailure:
-			fs.Node = p
-			return fs, nil
-		case TwoLinksShared:
-			pp := g.Providers(p)
-			if len(pp) == 0 {
-				continue // p is tier-1; resample
-			}
-			fs.Links = [][2]topology.ASN{{dest, p}, {p, pp[rng.Intn(len(pp))]}}
-			return fs, nil
-		case TwoLinksApart:
-			link2, ok := pickIndirectProviderLink(g, dest, p, rng)
-			if !ok {
-				continue
-			}
-			fs.Links = [][2]topology.ASN{{dest, p}, link2}
-			return fs, nil
+		if ok {
+			return s, nil
 		}
 	}
 	return Set{}, fmt.Errorf("scenario: could not build %v workload", k)

@@ -88,6 +88,12 @@ func (f *flightRecorder) Latest() []byte {
 // with respect to writers (shard rings are copied under their own
 // mutexes).
 func (f *flightRecorder) trigger(reason, detail string) {
+	f.triggerMeta(reason, detail, nil)
+}
+
+// triggerMeta is trigger with caller-supplied metadata merged into the
+// dump (after the server context, so a caller key wins on collision).
+func (f *flightRecorder) triggerMeta(reason, detail string, extra map[string]any) {
 	if f == nil {
 		return
 	}
@@ -103,6 +109,9 @@ func (f *flightRecorder) trigger(reason, detail string) {
 	f.mu.Unlock()
 
 	meta := f.meta()
+	for k, v := range extra {
+		meta[k] = v
+	}
 	meta["flight_reason"] = reason
 	meta["flight_detail"] = detail
 	meta["flight_seq"] = seq

@@ -179,6 +179,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /state", s.read(s.handleStateIndex))
 	mux.HandleFunc("GET /state/{dest}", s.read(s.handleStateRead))
 	mux.HandleFunc("POST /admin/event", s.handleAdminEvent)
+	mux.HandleFunc("POST /admin/steer-switch", s.handleSteerSwitch)
 	mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	return mux
 }
@@ -390,6 +391,48 @@ func (s *Server) handleAdminEvent(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)
+}
+
+// SteerSwitch is the POST /admin/steer-switch request body: a steering
+// agent reporting that one source flipped its color preference. Source
+// is the original (snapshot) ASN; CurMs/OtherMs are the effective
+// latencies the policy saw on the plane it left and the plane it chose.
+type SteerSwitch struct {
+	Source  int64   `json:"source"`
+	To      string  `json:"to"`
+	CurMs   float64 `json:"cur_ms"`
+	OtherMs float64 `json:"other_ms"`
+}
+
+// SteerSwitchAck is the endpoint's response: the window occupancy after
+// this switch and whether it crossed the flap threshold (and therefore
+// took a flight dump).
+type SteerSwitchAck struct {
+	Source           int64 `json:"source"`
+	SwitchesInWindow int   `json:"switches_in_window"`
+	Flapped          bool  `json:"flapped"`
+}
+
+func (s *Server) handleSteerSwitch(w http.ResponseWriter, r *http.Request) {
+	var req SteerSwitch
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
+		return
+	}
+	if _, ok := s.byASN[req.Source]; !ok {
+		writeJSON(w, http.StatusNotFound,
+			map[string]string{"error": fmt.Sprintf("unknown source AS %d", req.Source)})
+		return
+	}
+	if req.To != "red" && req.To != "blue" {
+		writeJSON(w, http.StatusBadRequest,
+			map[string]string{"error": fmt.Sprintf("bad color %q (want red or blue)", req.To)})
+		return
+	}
+	count, flapped := s.steer.note(req.Source, req.To, req.CurMs, req.OtherMs)
+	writeJSON(w, http.StatusOK, SteerSwitchAck{
+		Source: req.Source, SwitchesInWindow: count, Flapped: flapped,
+	})
 }
 
 // webState holds the HTTP listener lifecycle.

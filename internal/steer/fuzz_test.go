@@ -1,0 +1,96 @@
+package steer
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"stamp/internal/emu"
+	"stamp/internal/scenario"
+	"stamp/internal/topology"
+)
+
+// qualityKinds are the scenario kinds a fuzz input can select — the
+// data-plane-only workloads whose defining invariant is control-plane
+// invisibility.
+var qualityKinds = []string{"latency-brownout", "gray-failure", "oscillating-congestion"}
+
+// FuzzQualitySteering decodes fuzz bytes into a valid quality-kind
+// script plus a policy tuning and asserts the subsystem's two
+// load-bearing invariants on every input:
+//
+//  1. Quality events are control-plane invisible: the live emu fleet
+//     and the deterministic sim reference converge to identical routing
+//     tables under the script (with offsets zeroed so the wall-clock
+//     fleet applies the damage instantly).
+//  2. The steering decision path stays allocation-free for any
+//     normalized configuration and any measurement pattern.
+func FuzzQualitySteering(f *testing.F) {
+	f.Add(uint8(0), int64(1), uint8(3), uint8(20), uint8(8))
+	f.Add(uint8(1), int64(2), uint8(1), uint8(5), uint8(2))
+	f.Add(uint8(2), int64(3), uint8(7), uint8(60), uint8(40))
+	f.Add(uint8(255), int64(-9), uint8(0), uint8(0), uint8(0))
+
+	g, err := topology.GenerateDefault(30, 9)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, kindB uint8, seed int64, consec, degrade, comfort uint8) {
+		name := qualityKinds[int(kindB)%len(qualityKinds)]
+		script, err := scenario.Named(name, g, seed)
+		if err != nil {
+			t.Fatalf("%s with seed %d: %v", name, seed, err)
+		}
+		for i := range script.Events {
+			if !script.Events[i].Op.Quality() {
+				t.Fatalf("%s produced non-quality op %v", name, script.Events[i].Op)
+			}
+			script.Events[i].At = 0
+		}
+
+		live, err := emu.Run(emu.Options{Graph: g}, script)
+		if err != nil {
+			t.Fatalf("emu: %v", err)
+		}
+		ref, err := emu.SimTables(context.Background(), g, script, emu.ReferenceParams(), seed)
+		if err != nil {
+			t.Fatalf("sim reference: %v", err)
+		}
+		if divs := ref.Diff(live.Tables); len(divs) != 0 {
+			t.Fatalf("%s (seed %d): quality events leaked into the control plane, %d divergences, first %v",
+				name, seed, len(divs), divs[0])
+		}
+
+		// Decision path: normalized fuzzed tuning, measurements drawn
+		// from the script seed, zero heap allocations.
+		cfg := Config{
+			Consecutive:   int(consec % 16),
+			DegradeMs:     float64(degrade),
+			ComfortMs:     float64(comfort),
+			CooldownTicks: int(seed % 8),
+		}
+		const n = 64
+		rng := rand.New(rand.NewSource(seed))
+		rl, rlp, bl, blp := make([]float32, n), make([]float32, n), make([]float32, n), make([]float32, n)
+		pref := make([]uint8, n)
+		sample := func() {
+			for i := 0; i < n; i++ {
+				rl[i] = rng.Float32()*500 - 10 // occasionally "unreachable" (< 0)
+				bl[i] = rng.Float32()*500 - 10
+				rlp[i] = rng.Float32() * 0.5
+				blp[i] = rng.Float32() * 0.5
+				pref[i] = uint8(rng.Intn(2))
+			}
+		}
+		sample()
+		p := NewPolicy(cfg)
+		p.Init(rl, rlp, bl, blp, pref)
+		if allocs := testing.AllocsPerRun(20, func() {
+			sample()
+			p.Step(rl, rlp, bl, blp)
+		}); allocs != 0 {
+			t.Fatalf("Policy.Step allocates %v times per call with config %+v, want 0", allocs, p.Config())
+		}
+	})
+}

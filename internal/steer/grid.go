@@ -1,0 +1,335 @@
+package steer
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"stamp/internal/core"
+	"stamp/internal/metrics"
+	"stamp/internal/runner"
+	"stamp/internal/scenario"
+	"stamp/internal/sim"
+	"stamp/internal/topology"
+	"stamp/internal/traffic"
+)
+
+// The steering grid is the subsystem's headline experiment: the same
+// random quality workloads replayed under four arms — BGP, R-BGP,
+// color-locked STAMP, and STAMP-steer — with one user-perceived-latency
+// number per arm. Both STAMP arms run the identical control plane
+// (deterministic locked blue provider via core.FirstBluePicker), so any
+// difference between them is purely the steering policy's doing. Like
+// every harness in this repo it is expressed as enumerable runner
+// shards, one per (trial, protocol), and its aggregates are
+// bit-identical for any worker count.
+
+// Grid sampling defaults: quality scripts span at most ~2s of virtual
+// time; 240 ticks of 25ms give a 6s window with a settled tail without
+// paying for the transient harness's full 60s.
+const (
+	DefaultGridTicks = 240
+)
+
+// Seed-derivation streams, disjoint by construction with any other
+// package's because every DeriveSeed chain starts from the caller's
+// master seed.
+const (
+	streamWorkload int64 = iota + 1
+	streamEngine
+)
+
+// GridOpts configures a four-arm steering comparison.
+type GridOpts struct {
+	// G is the AS topology.
+	G *topology.Graph
+	// Params is the simulation timing model (DefaultParams if zero).
+	Params sim.Params
+	// Trials is the number of random workload instances.
+	Trials int
+	// Seed is the master seed; workload, engine, and latency-model
+	// randomness all derive from it.
+	Seed int64
+	// Scenario is the script name (default "latency-brownout"; the
+	// quality kinds are the interesting ones, but any scenario works).
+	Scenario string
+	// Protocols are the arms (default traffic.GridProtocols()).
+	Protocols []traffic.Protocol
+	// Flows per source AS (default 1).
+	Flows int
+	// Tick and Ticks control sampling (default 25ms × DefaultGridTicks).
+	Tick  time.Duration
+	Ticks int
+	// TimeoutMs is the user-perceived cost of a lost packet (default
+	// traffic.DefaultTimeoutMs).
+	TimeoutMs float64
+	// Config tunes the steering policy of the STAMP-steer arm.
+	Config Config
+	// Metrics, when non-nil, instruments every shard's steering policy
+	// (counters are shared and atomic).
+	Metrics *Metrics
+	// Workers sizes the shard worker pool (<= 0: one per CPU).
+	Workers int
+	// Progress, when non-nil, receives (done, total) shard counts.
+	Progress func(done, total int)
+	// Context cancels the run (nil = background).
+	Context context.Context
+}
+
+func (o GridOpts) normalized() GridOpts {
+	if o.Trials <= 0 {
+		o.Trials = 1
+	}
+	if o.Params == (sim.Params{}) {
+		o.Params = sim.DefaultParams()
+	}
+	if o.Scenario == "" {
+		o.Scenario = "latency-brownout"
+	}
+	if o.Protocols == nil {
+		o.Protocols = traffic.GridProtocols()
+	}
+	if o.Flows <= 0 {
+		o.Flows = traffic.DefaultFlows
+	}
+	if o.Tick <= 0 {
+		o.Tick = traffic.DefaultTick
+	}
+	if o.Ticks <= 0 {
+		o.Ticks = DefaultGridTicks
+	}
+	if o.TimeoutMs <= 0 {
+		o.TimeoutMs = traffic.DefaultTimeoutMs
+	}
+	o.Config = o.Config.withDefaults()
+	return o
+}
+
+// GridOutcome is the result of one (trial, protocol) shard.
+type GridOutcome struct {
+	Trial int
+	Proto traffic.Protocol
+	Curve *traffic.Curve
+	// Switches and Unhealthy are the shard policy's totals (STAMP-steer
+	// shards only).
+	Switches  int64
+	Unhealthy int64
+}
+
+// GridSpec expresses the grid as enumerable runner shards ordered
+// trial-major: workload randomness (scenario pick) is shared by all
+// arms of a trial, engine randomness is private per shard, and the
+// latency model derives from the master seed alone so every arm of
+// every trial measures the same network.
+func GridSpec(opts GridOpts) (runner.Spec[GridOutcome], error) {
+	if opts.G == nil {
+		return runner.Spec[GridOutcome]{}, fmt.Errorf("steer: nil topology")
+	}
+	opts = opts.normalized()
+	protos := opts.Protocols
+	return runner.Spec[GridOutcome]{
+		Name:   fmt.Sprintf("steer(%s)", opts.Scenario),
+		Trials: opts.Trials * len(protos),
+		Seed:   opts.Seed,
+		Run: func(t runner.Trial) (GridOutcome, error) {
+			trial := t.Index / len(protos)
+			proto := protos[t.Index%len(protos)]
+			script, err := scenario.Named(opts.Scenario, opts.G,
+				runner.DeriveSeed(opts.Seed, streamWorkload, int64(trial)))
+			if err != nil {
+				return GridOutcome{}, err
+			}
+			// Each shard builds a private model (mutable degradation
+			// state) with the shared seed (identical baselines).
+			model := NewModel(opts.G, opts.Seed)
+			so := traffic.SimOpts{
+				G:         opts.G,
+				Proto:     proto,
+				Params:    opts.Params,
+				Script:    script,
+				Flows:     opts.Flows,
+				Tick:      opts.Tick,
+				Ticks:     opts.Ticks,
+				Seed:      runner.DeriveSeed(opts.Seed, streamEngine, int64(trial), int64(proto)),
+				Cost:      model,
+				TimeoutMs: opts.TimeoutMs,
+				Context:   t.Ctx,
+			}
+			var pol *Policy
+			switch proto {
+			case traffic.STAMP, traffic.STAMPSteer:
+				// Identical control planes: any STAMP-vs-steer delta is
+				// pure data-plane steering.
+				so.BluePick = core.FirstBluePicker()
+			}
+			if proto == traffic.STAMPSteer {
+				pol = NewPolicy(opts.Config)
+				pol.Instrument(opts.Metrics)
+				so.Steer = pol
+			}
+			cur, err := traffic.RunSim(so)
+			if err != nil {
+				return GridOutcome{}, fmt.Errorf("%v trial %d: %w", proto, trial, err)
+			}
+			out := GridOutcome{Trial: trial, Proto: proto, Curve: cur}
+			if pol != nil {
+				out.Switches = pol.SwitchCount()
+				out.Unhealthy = pol.UnhealthyCount()
+				cur.SteerSwitches = out.Switches
+			}
+			return out, nil
+		},
+	}, nil
+}
+
+// ArmStats aggregates one arm's curves over all trials.
+type ArmStats struct {
+	Proto traffic.Protocol `json:"protocol"`
+	// UserLatency pools the per-tick mean user-latency series over
+	// trials; UserLatencyMs accumulates the per-trial time means.
+	UserLatency   *metrics.TimeSeries `json:"user_latency_ms"`
+	UserLatencyMs metrics.Accum       `json:"user_latency_mean_ms"`
+	// Loss accounting, as in the loss-curve harness.
+	LostPacketTicks metrics.Accum `json:"lost_packet_ticks"`
+	EverAffected    metrics.Accum `json:"ever_affected"`
+	// Switches and Unhealthy accumulate per-trial policy totals
+	// (STAMP-steer only; zero elsewhere).
+	Switches  metrics.Accum `json:"steer_switches"`
+	Unhealthy metrics.Accum `json:"steer_unhealthy"`
+}
+
+// GridResult is the outcome of RunGrid.
+type GridResult struct {
+	Scenario  string        `json:"scenario"`
+	Trials    int           `json:"trials"`
+	Flows     int           `json:"flows_per_source"`
+	Tick      time.Duration `json:"tick_ns"`
+	Ticks     int           `json:"ticks"`
+	TimeoutMs float64       `json:"timeout_ms"`
+	Config    Config        `json:"steer_config"`
+	Arms      []*ArmStats   `json:"arms"`
+
+	// Headline: mean user latency of the steering arm vs color-locked
+	// STAMP, and their ratio (< 1 means steering won). Zero when either
+	// arm is absent.
+	SteerLatencyMs     float64 `json:"steer_user_latency_ms,omitempty"`
+	LockedLatencyMs    float64 `json:"locked_user_latency_ms,omitempty"`
+	SteerVsLockedRatio float64 `json:"steer_vs_locked_latency_ratio,omitempty"`
+}
+
+// Arm returns the stats of one protocol arm (nil if absent).
+func (r *GridResult) Arm(p traffic.Protocol) *ArmStats {
+	for _, a := range r.Arms {
+		if a.Proto == p {
+			return a
+		}
+	}
+	return nil
+}
+
+// gridAccum folds GridOutcome shards in trial order.
+type gridAccum struct {
+	res  *GridResult
+	arms map[traffic.Protocol]*ArmStats
+}
+
+func newGridAccum(opts GridOpts) *gridAccum {
+	res := &GridResult{
+		Scenario:  opts.Scenario,
+		Trials:    opts.Trials,
+		Flows:     opts.Flows,
+		Tick:      opts.Tick,
+		Ticks:     opts.Ticks,
+		TimeoutMs: opts.TimeoutMs,
+		Config:    opts.Config,
+	}
+	a := &gridAccum{res: res, arms: make(map[traffic.Protocol]*ArmStats, len(opts.Protocols))}
+	for _, p := range opts.Protocols {
+		ts, err := metrics.NewTimeSeries(opts.Tick.Seconds(), opts.Ticks)
+		if err != nil {
+			// Normalized opts always yield a valid layout.
+			panic(err)
+		}
+		st := &ArmStats{Proto: p, UserLatency: ts}
+		res.Arms = append(res.Arms, st)
+		a.arms[p] = st
+	}
+	return a
+}
+
+func (a *gridAccum) merge(out GridOutcome) *gridAccum {
+	st := a.arms[out.Proto]
+	if err := st.UserLatency.Merge(out.Curve.UserLatency); err != nil {
+		// Impossible: every curve uses the same normalized (Tick, Ticks).
+		panic(err)
+	}
+	st.UserLatencyMs.Add(out.Curve.UserLatencyMeanMs)
+	st.LostPacketTicks.Add(float64(out.Curve.LostPacketTicks))
+	st.EverAffected.Add(float64(out.Curve.EverAffected))
+	st.Switches.Add(float64(out.Switches))
+	st.Unhealthy.Add(float64(out.Unhealthy))
+	return a
+}
+
+// RunGrid measures user-perceived latency for each arm under the named
+// scenario, averaged over Trials random instances. The result is
+// bit-identical for any worker count.
+func RunGrid(opts GridOpts) (*GridResult, error) {
+	if opts.G == nil {
+		return nil, fmt.Errorf("steer: nil topology")
+	}
+	opts = opts.normalized()
+	spec, err := GridSpec(opts)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := runner.Fold(spec, runner.Options{Workers: opts.Workers, Progress: opts.Progress, Context: opts.Context},
+		newGridAccum(opts),
+		func(a *gridAccum, _ runner.Trial, out GridOutcome) *gridAccum { return a.merge(out) })
+	if err != nil {
+		return nil, fmt.Errorf("steer: %w", err)
+	}
+	res := acc.res
+	if s, l := res.Arm(traffic.STAMPSteer), res.Arm(traffic.STAMP); s != nil && l != nil {
+		res.SteerLatencyMs = s.UserLatencyMs.Mean()
+		res.LockedLatencyMs = l.UserLatencyMs.Mean()
+		if res.LockedLatencyMs > 0 {
+			res.SteerVsLockedRatio = res.SteerLatencyMs / res.LockedLatencyMs
+		}
+	}
+	return res, nil
+}
+
+// Print renders the four-arm comparison.
+func (r *GridResult) Print(w io.Writer) {
+	window := time.Duration(r.Ticks) * r.Tick
+	fmt.Fprintf(w, "Latency steering under %q (%d trials, %v window at %v ticks, timeout %.0fms)\n",
+		r.Scenario, r.Trials, window, r.Tick, r.TimeoutMs)
+	t := metrics.NewTable("protocol", "user latency", "lost pkt-ticks", "ever affected", "switches", "unhealthy ticks")
+	for _, st := range r.Arms {
+		sw, un := "-", "-"
+		if st.Proto == traffic.STAMPSteer {
+			sw = fmt.Sprintf("%.1f", st.Switches.Mean())
+			un = fmt.Sprintf("%.1f", st.Unhealthy.Mean())
+		}
+		t.AddRow(
+			st.Proto.String(),
+			fmt.Sprintf("%.2fms", st.UserLatencyMs.Mean()),
+			fmt.Sprintf("%.1f", st.LostPacketTicks.Mean()),
+			fmt.Sprintf("%.1f", st.EverAffected.Mean()),
+			sw, un,
+		)
+	}
+	if err := t.Render(w); err != nil {
+		fmt.Fprintf(w, "render error: %v\n", err)
+		return
+	}
+	if r.SteerVsLockedRatio > 0 {
+		verdict := "steering wins"
+		if r.SteerVsLockedRatio >= 1 {
+			verdict = "locking wins"
+		}
+		fmt.Fprintf(w, "steer/locked user latency: %.3f (%s)\n", r.SteerVsLockedRatio, verdict)
+	}
+}

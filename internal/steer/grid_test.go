@@ -1,0 +1,116 @@
+package steer
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"stamp/internal/traffic"
+)
+
+// TestSteerBeatsLockedOnBrownout is the subsystem's acceptance
+// headline: under latency brownouts the steering arm's user-perceived
+// latency must be strictly better than color-locked STAMP's — same
+// control plane, same workloads, same latency model; only the
+// per-source color decisions differ.
+func TestSteerBeatsLockedOnBrownout(t *testing.T) {
+	g := genGraph(t, 80, 3)
+	res, err := RunGrid(GridOpts{
+		G: g, Trials: 4, Seed: 5,
+		Scenario: "latency-brownout",
+		Ticks:    160,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SteerLatencyMs <= 0 || res.LockedLatencyMs <= 0 {
+		t.Fatalf("missing headline latencies: steer %v, locked %v", res.SteerLatencyMs, res.LockedLatencyMs)
+	}
+	if res.SteerLatencyMs >= res.LockedLatencyMs {
+		t.Fatalf("steering did not beat locking: steer %.3fms >= locked %.3fms (ratio %.3f)",
+			res.SteerLatencyMs, res.LockedLatencyMs, res.SteerVsLockedRatio)
+	}
+	if res.SteerVsLockedRatio <= 0 || res.SteerVsLockedRatio >= 1 {
+		t.Fatalf("ratio %v inconsistent with a steering win", res.SteerVsLockedRatio)
+	}
+	steer := res.Arm(traffic.STAMPSteer)
+	if steer == nil || steer.Switches.Sum == 0 {
+		t.Fatal("the steering arm never switched — the win has no mechanism")
+	}
+	// The non-STAMP arms rode along: all four must have measurements.
+	for _, arm := range res.Arms {
+		if arm.UserLatencyMs.Count != int64(res.Trials) {
+			t.Fatalf("%v: %v trials accumulated, want %d", arm.Proto, arm.UserLatencyMs.Count, res.Trials)
+		}
+	}
+}
+
+// TestOscillationCooldownBoundsSwitches: when congestion oscillates
+// between two provider links, the cooldown must bound the switch count;
+// a hair-trigger policy (no debounce, no cooldown) flaps strictly more.
+func TestOscillationCooldownBoundsSwitches(t *testing.T) {
+	g := genGraph(t, 80, 3)
+	opts := GridOpts{
+		G: g, Trials: 3, Seed: 11,
+		Scenario:  "oscillating-congestion",
+		Ticks:     120,
+		Protocols: []traffic.Protocol{traffic.STAMP, traffic.STAMPSteer},
+	}
+
+	def, err := RunGrid(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hair := opts
+	hair.Config = Config{Consecutive: 1, CooldownTicks: -1}
+	flappy, err := RunGrid(hair)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	defSw := def.Arm(traffic.STAMPSteer).Switches
+	hairSw := flappy.Arm(traffic.STAMPSteer).Switches
+	if hairSw.Sum == 0 {
+		t.Fatal("hair-trigger policy never switched; the scenario exerts no steering pressure")
+	}
+	if defSw.Sum >= hairSw.Sum {
+		t.Fatalf("cooldown did not reduce flapping: default %v switches >= hair-trigger %v", defSw.Sum, hairSw.Sum)
+	}
+	// Hard bound: after every switch a source is frozen for
+	// CooldownTicks, so per trial it can switch at most
+	// 1 + Ticks/CooldownTicks times.
+	perSource := 1 + opts.Ticks/def.Config.CooldownTicks
+	bound := float64(g.Len() * perSource)
+	if defSw.Max > bound {
+		t.Fatalf("a trial switched %v times, above the cooldown bound %v", defSw.Max, bound)
+	}
+}
+
+// TestGridWorkersDeterminism: the aggregated grid result must be
+// byte-identical for any worker count.
+func TestGridWorkersDeterminism(t *testing.T) {
+	g := genGraph(t, 60, 5)
+	opts := GridOpts{
+		G: g, Trials: 2, Seed: 9,
+		Scenario: "gray-failure",
+		Ticks:    80,
+	}
+	run := func(workers int) []byte {
+		o := opts
+		o.Workers = workers
+		res, err := RunGrid(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	w1 := run(1)
+	w4 := run(4)
+	if !bytes.Equal(w1, w4) {
+		t.Fatalf("grid result depends on worker count:\n-workers 1: %s\n-workers 4: %s", w1, w4)
+	}
+}

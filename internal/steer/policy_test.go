@@ -1,0 +1,242 @@
+package steer
+
+import (
+	"math/rand"
+	"testing"
+
+	"stamp/internal/traffic"
+)
+
+// one wraps a single-source policy for transition tests: red baseline
+// 10ms, blue baseline 12ms, starting on red.
+type one struct{ p *Policy }
+
+func newOne(cfg Config) one {
+	p := NewPolicy(cfg)
+	p.Init([]float32{10}, []float32{0}, []float32{12}, []float32{0}, []uint8{0})
+	return one{p}
+}
+
+// step feeds one tick of (red, blue) effective path latencies (loss 0;
+// pass -1 for unreachable).
+func (o one) step(red, blue float64) {
+	o.p.Step([]float32{float32(red)}, []float32{0}, []float32{float32(blue)}, []float32{0})
+}
+
+func (o one) color() uint8 { return o.p.Colors()[0] }
+
+// TestPolicyTransitions pins the per-source state machine, one scripted
+// scenario per transition.
+func TestPolicyTransitions(t *testing.T) {
+	cfg := Config{DegradeMs: 20, ComfortMs: 8, AbsMaxMs: 250, Consecutive: 3, CooldownTicks: 10, TimeoutMs: 400}
+
+	t.Run("comfortable stays", func(t *testing.T) {
+		o := newOne(cfg)
+		for i := 0; i < 20; i++ {
+			o.step(12, 12) // red 12 < 10+8
+		}
+		if o.color() != 0 || o.p.SwitchCount() != 0 {
+			t.Fatalf("switched on a comfortable plane: color %d, %d switches", o.color(), o.p.SwitchCount())
+		}
+		if o.p.UnhealthyCount() != 0 {
+			t.Fatalf("%d unhealthy samples on a comfortable plane", o.p.UnhealthyCount())
+		}
+	})
+
+	t.Run("under N consecutive stays", func(t *testing.T) {
+		o := newOne(cfg)
+		// Two unhealthy ticks (N=3), then comfort resets the count; two
+		// more never reach three in a row.
+		o.step(50, 12)
+		o.step(50, 12)
+		o.step(12, 12)
+		o.step(50, 12)
+		o.step(50, 12)
+		if o.color() != 0 || o.p.SwitchCount() != 0 {
+			t.Fatalf("switched below the consecutive threshold: color %d", o.color())
+		}
+		if o.p.UnhealthyCount() != 4 {
+			t.Fatalf("unhealthy count %d, want 4", o.p.UnhealthyCount())
+		}
+	})
+
+	t.Run("gray zone holds the count", func(t *testing.T) {
+		o := newOne(cfg)
+		// Two unhealthy, one suspicious (between 10+8 and 10+20: neither
+		// resets nor grows), then a third unhealthy completes the three.
+		o.step(50, 12)
+		o.step(50, 12)
+		o.step(25, 12)
+		if o.p.SwitchCount() != 0 {
+			t.Fatal("suspicious tick must not complete the streak")
+		}
+		o.step(50, 12)
+		if o.color() != 1 || o.p.SwitchCount() != 1 {
+			t.Fatalf("gray zone reset the streak: color %d, %d switches", o.color(), o.p.SwitchCount())
+		}
+	})
+
+	t.Run("N consecutive switches", func(t *testing.T) {
+		o := newOne(cfg)
+		var gotSrc, gotTo = -1, uint8(99)
+		o.p.OnSwitch = func(src int, to uint8, curMs, otherMs float64) {
+			gotSrc, gotTo = src, to
+			if curMs != 50 || otherMs != 12 {
+				t.Errorf("OnSwitch samples %v/%v, want 50/12", curMs, otherMs)
+			}
+		}
+		o.step(50, 12)
+		o.step(50, 12)
+		if o.color() != 0 {
+			t.Fatal("switched early")
+		}
+		o.step(50, 12)
+		if o.color() != 1 || o.p.SwitchCount() != 1 {
+			t.Fatalf("no switch after 3 consecutive unhealthy ticks: color %d", o.color())
+		}
+		if gotSrc != 0 || gotTo != 1 {
+			t.Fatalf("OnSwitch(%d, %d), want (0, 1)", gotSrc, gotTo)
+		}
+	})
+
+	t.Run("cooldown blocks the next switch", func(t *testing.T) {
+		o := newOne(cfg)
+		o.step(50, 12)
+		o.step(50, 12)
+		o.step(50, 12) // switch to blue, cooldown 10 starts
+		if o.color() != 1 {
+			t.Fatal("setup switch missing")
+		}
+		// Blue is now terrible and red fine: the policy wants back but
+		// must serve the cooldown first (the streak keeps growing).
+		for i := 0; i < 9; i++ {
+			o.step(12, 200)
+			if o.color() != 1 {
+				t.Fatalf("switched during cooldown at tick %d", i)
+			}
+		}
+		o.step(12, 200) // cooldown expired
+		if o.color() != 0 || o.p.SwitchCount() != 2 {
+			t.Fatalf("no switch after cooldown: color %d, %d switches", o.color(), o.p.SwitchCount())
+		}
+	})
+
+	t.Run("all unhealthy steers to least bad", func(t *testing.T) {
+		o := newOne(cfg)
+		// Both planes unhealthy, the other one worse: stay.
+		for i := 0; i < 6; i++ {
+			o.step(100, 120)
+		}
+		if o.color() != 0 || o.p.SwitchCount() != 0 {
+			t.Fatalf("switched to a worse plane: color %d", o.color())
+		}
+		// Both unhealthy, other strictly better: go.
+		o.step(150, 120)
+		if o.color() != 1 || o.p.SwitchCount() != 1 {
+			t.Fatalf("did not take the least-bad plane: color %d", o.color())
+		}
+	})
+
+	t.Run("absolute cap trips without baseline delta", func(t *testing.T) {
+		loose := cfg
+		loose.DegradeMs = 100000 // baseline test never trips
+		o := newOne(loose)
+		for i := 0; i < 3; i++ {
+			o.step(260, 12) // > AbsMaxMs 250
+		}
+		if o.color() != 1 {
+			t.Fatal("absolute latency cap did not trip")
+		}
+	})
+
+	t.Run("unreachable counts as timeout", func(t *testing.T) {
+		o := newOne(cfg)
+		for i := 0; i < 3; i++ {
+			o.step(float64(traffic.NoLat), 12) // red unreachable -> eff 400
+		}
+		if o.color() != 1 {
+			t.Fatal("unreachable plane not treated as unhealthy")
+		}
+	})
+}
+
+// TestPolicyTimeoutMatchesTraffic pins the mirrored default against the
+// traffic engine's (the two packages must agree on what a lost packet
+// costs).
+func TestPolicyTimeoutMatchesTraffic(t *testing.T) {
+	if defaultTimeoutMs != traffic.DefaultTimeoutMs {
+		t.Fatalf("steer defaultTimeoutMs %v != traffic.DefaultTimeoutMs %v", defaultTimeoutMs, traffic.DefaultTimeoutMs)
+	}
+}
+
+// TestConfigDefaults: zero values default, negative cooldown means
+// hair-trigger zero.
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c != DefaultConfig() {
+		t.Fatalf("zero config defaulted to %+v, want %+v", c, DefaultConfig())
+	}
+	// Normalization must be idempotent — the grid normalizes once at the
+	// harness level and again inside NewPolicy, and a hair-trigger
+	// (disabled-cooldown) config must survive both.
+	hair := Config{Consecutive: 1, CooldownTicks: -1}.withDefaults()
+	if hair.CooldownTicks >= 0 {
+		t.Fatalf("disabled cooldown normalized to %d, want negative", hair.CooldownTicks)
+	}
+	if again := hair.withDefaults(); again != hair {
+		t.Fatalf("normalization not idempotent: %+v -> %+v", hair, again)
+	}
+}
+
+// TestStepAllocs: the hot decision loop must not allocate — it runs
+// once per simulated tick per trial shard.
+func TestStepAllocs(t *testing.T) {
+	const n = 512
+	rng := rand.New(rand.NewSource(7))
+	rl, rlp, bl, blp := make([]float32, n), make([]float32, n), make([]float32, n), make([]float32, n)
+	pref := make([]uint8, n)
+	sample := func() {
+		for i := 0; i < n; i++ {
+			rl[i] = rng.Float32() * 300
+			bl[i] = rng.Float32() * 300
+			rlp[i] = rng.Float32() * 0.3
+			blp[i] = rng.Float32() * 0.3
+		}
+	}
+	sample()
+	p := NewPolicy(Config{})
+	p.Init(rl, rlp, bl, blp, pref)
+	if allocs := testing.AllocsPerRun(100, func() {
+		sample()
+		p.Step(rl, rlp, bl, blp)
+	}); allocs != 0 {
+		t.Fatalf("Policy.Step allocates %v times per call, want 0", allocs)
+	}
+}
+
+// BenchmarkSteerDecision measures the policy's per-tick decision batch
+// and reports decisions (per-source evaluations) per second; CI's
+// benchjson step turns the custom metric into steer_switch_decisions_per_s
+// and gates on allocs/op staying 0.
+func BenchmarkSteerDecision(b *testing.B) {
+	const n = 4096
+	rng := rand.New(rand.NewSource(7))
+	rl, rlp, bl, blp := make([]float32, n), make([]float32, n), make([]float32, n), make([]float32, n)
+	pref := make([]uint8, n)
+	for i := 0; i < n; i++ {
+		rl[i] = rng.Float32() * 300
+		bl[i] = rng.Float32() * 300
+		rlp[i] = rng.Float32() * 0.3
+		blp[i] = rng.Float32() * 0.3
+	}
+	p := NewPolicy(Config{})
+	p.Init(rl, rlp, bl, blp, pref)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step(rl, rlp, bl, blp)
+	}
+	b.StopTimer()
+	decisions := float64(n) * float64(b.N)
+	b.ReportMetric(decisions/b.Elapsed().Seconds(), "decisions/s")
+}

@@ -57,6 +57,7 @@ type Doc struct {
 
 func main() {
 	servePath := flag.String("serve", "", "merge a `stamp run serve-load -json` result file into the summary")
+	steerPath := flag.String("steer", "", "merge a `stamp run steer-latency -json` result file into the summary")
 	flag.Parse()
 	doc, err := Parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -71,6 +72,17 @@ func main() {
 			os.Exit(1)
 		}
 		if err := MergeServe(doc, raw); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	if *steerPath != "" {
+		raw, err := os.ReadFile(*steerPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if err := MergeSteer(doc, raw); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -120,6 +132,13 @@ func Summarize(doc *Doc) {
 		case "BenchmarkAtlasIncremental/scratch":
 			scratchNs = b.NsPerOp
 			set("atlas_scratch_ns_per_event", b.NsPerOp)
+		case "BenchmarkSteerDecision":
+			if v, ok := b.Metrics["decisions/s"]; ok {
+				set("steer_switch_decisions_per_s", v)
+			}
+			if b.AllocsPerOp != nil {
+				set("steer_decision_allocs_per_op", *b.AllocsPerOp)
+			}
 		}
 	}
 	if incNs > 0 && scratchNs > 0 {
@@ -164,6 +183,49 @@ func MergeServe(doc *Doc, raw []byte) error {
 	doc.Summary["serve_scrape_p99_ms"] = d.ScrapeP99Ms
 	doc.Summary["serve_scrape_bytes"] = d.ScrapeBytes
 	doc.Summary["serve_events_streamed"] = d.EventsStreamed
+	return nil
+}
+
+// MergeSteer folds a steer-grid lab result (the `stamp run
+// steer-latency -json` / `stamp run steer-loss -json` envelope) into
+// the summary under stable steer_* names. The headline is
+// steer_vs_locked_latency_ratio: STAMP-steer user latency over
+// color-locked STAMP on the same workload (< 1 means steering wins).
+func MergeSteer(doc *Doc, raw []byte) error {
+	var envelope struct {
+		Experiment string `json:"experiment"`
+		Data       struct {
+			SteerMs  float64 `json:"steer_user_latency_ms"`
+			LockedMs float64 `json:"locked_user_latency_ms"`
+			Ratio    float64 `json:"steer_vs_locked_latency_ratio"`
+			Arms     []struct {
+				Protocol string `json:"protocol"`
+				Switches struct {
+					Sum float64 `json:"Sum"`
+				} `json:"steer_switches"`
+			} `json:"arms"`
+		} `json:"data"`
+	}
+	if err := json.Unmarshal(raw, &envelope); err != nil {
+		return fmt.Errorf("steer result: %w", err)
+	}
+	if !strings.HasPrefix(envelope.Experiment, "steer-") {
+		return fmt.Errorf("steer result: experiment %q, want steer-*", envelope.Experiment)
+	}
+	if doc.Summary == nil {
+		doc.Summary = make(map[string]float64)
+	}
+	d := envelope.Data
+	doc.Summary["steer_user_latency_ms"] = d.SteerMs
+	doc.Summary["locked_user_latency_ms"] = d.LockedMs
+	doc.Summary["steer_vs_locked_latency_ratio"] = d.Ratio
+	for _, arm := range d.Arms {
+		// Arms carry the paper's figure labels ("STAMP-steer"), not the
+		// CLI spellings.
+		if arm.Protocol == "STAMP-steer" {
+			doc.Summary["steer_switches_total"] = arm.Switches.Sum
+		}
+	}
 	return nil
 }
 

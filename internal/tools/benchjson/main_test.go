@@ -102,6 +102,59 @@ func TestMergeServe(t *testing.T) {
 	}
 }
 
+const steerSample = `goos: linux
+pkg: stamp/internal/steer
+BenchmarkSteerDecision-8   	   50000	     24600 ns/op	 166000000 decisions/s	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestSummarizeSteerDecision(t *testing.T) {
+	doc, err := Parse(bufio.NewScanner(strings.NewReader(steerSample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Summarize(doc)
+	if got := doc.Summary["steer_switch_decisions_per_s"]; got != 166000000 {
+		t.Errorf("steer_switch_decisions_per_s = %v, want 166000000", got)
+	}
+	if got := doc.Summary["steer_decision_allocs_per_op"]; got != 0 {
+		t.Errorf("steer_decision_allocs_per_op = %v, want 0", got)
+	}
+}
+
+func TestMergeSteer(t *testing.T) {
+	doc := &Doc{SchemaVersion: SchemaVersion}
+	steerResult := `{
+	  "experiment": "steer-latency",
+	  "data": {"steer_user_latency_ms": 38.98, "locked_user_latency_ms": 62.98,
+	           "steer_vs_locked_latency_ratio": 0.6189,
+	           "arms": [
+	             {"protocol": "STAMP", "steer_switches": {"Count": 0, "Sum": 0}},
+	             {"protocol": "STAMP-steer", "steer_switches": {"Count": 2, "Sum": 105}}
+	           ]}
+	}`
+	if err := MergeSteer(doc, []byte(steerResult)); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Summary["steer_vs_locked_latency_ratio"] != 0.6189 ||
+		doc.Summary["steer_user_latency_ms"] != 38.98 ||
+		doc.Summary["locked_user_latency_ms"] != 62.98 ||
+		doc.Summary["steer_switches_total"] != 105 {
+		t.Errorf("summary = %v", doc.Summary)
+	}
+	// steer-loss is the same grid under a different preset — accepted.
+	if err := MergeSteer(&Doc{}, []byte(`{"experiment":"steer-loss","data":{}}`)); err != nil {
+		t.Errorf("steer-loss rejected: %v", err)
+	}
+	// Wrong experiment must be rejected, not silently merged.
+	if err := MergeSteer(doc, []byte(`{"experiment":"figure2","data":{}}`)); err == nil {
+		t.Error("figure2 result merged as steer grid")
+	}
+	if err := MergeSteer(doc, []byte(`{not json`)); err == nil {
+		t.Error("malformed result merged")
+	}
+}
+
 func TestParseRejectsEmpty(t *testing.T) {
 	if _, err := Parse(bufio.NewScanner(strings.NewReader("PASS\nok x 1s\n"))); err == nil {
 		t.Fatal("empty bench output parsed without error")

@@ -43,11 +43,27 @@ type Curve struct {
 	EverAffected      int `json:"ever_affected"`
 	TransientAffected int `json:"transient_affected"`
 
+	// UserLatency (runs with a link-cost model only) holds one
+	// observation per tick: the mean user-perceived latency over all
+	// sources, where a delivered source contributes its path latency
+	// plus its gray-loss probability × TimeoutMs, and an unreachable
+	// source contributes the full TimeoutMs — the end-user view, in
+	// which a lost packet is not free but a retransmit timeout.
+	UserLatency *metrics.TimeSeries `json:"user_latency_ms,omitempty"`
+	// UserLatencyMeanMs is the time-mean of UserLatency over all ticks.
+	UserLatencyMeanMs float64 `json:"user_latency_mean_ms,omitempty"`
+	// TimeoutMs is the loss penalty used for UserLatency.
+	TimeoutMs float64 `json:"timeout_ms,omitempty"`
+	// SteerSwitches counts color switches the steering policy made
+	// during the run (STAMP-steer only).
+	SteerSwitches int64 `json:"steer_switches,omitempty"`
+
 	// Final is the converged data plane after the scenario (the parity
 	// surface for sim-vs-emu differential validation).
 	Final Walk `json:"-"`
 
-	lostTicks []int32 // per source: ticks at which it was not delivered
+	lostTicks  []int32 // per source: ticks at which it was not delivered
+	userLatSum float64 // sum of per-tick mean user latencies
 }
 
 // newCurve allocates the curve and its series for a run.
@@ -70,6 +86,25 @@ func newCurve(proto Protocol, flows, ticks int, tick time.Duration, n int) (*Cur
 		return nil, err
 	}
 	return c, nil
+}
+
+// enableUserLat attaches the user-latency series (runs with a link-cost
+// model). timeoutMs is the perceived cost of a lost packet.
+func (c *Curve) enableUserLat(timeoutMs float64) error {
+	c.TimeoutMs = timeoutMs
+	var err error
+	c.UserLatency, err = metrics.NewTimeSeries(c.Tick.Seconds(), c.Ticks)
+	return err
+}
+
+// perceived is one source's user-perceived latency for a sampled walk:
+// path latency plus timeout-weighted loss probability, or the full
+// timeout when unreachable.
+func (c *Curve) perceived(w *Walk, v int) float64 {
+	if w.Status[v] != forwarding.Delivered || w.LatMs[v] < 0 {
+		return c.TimeoutMs
+	}
+	return float64(w.LatMs[v]) + float64(w.LossP[v])*c.TimeoutMs
 }
 
 // observe folds one sampled tick (1-based) into the curve. baseline is
@@ -99,11 +134,23 @@ func (c *Curve) observe(tickIdx int, w, baseline *Walk) {
 		c.Stretch.Observe(at, stretchSum/float64(stretchN))
 	}
 	c.LostPacketTicks += int64(lost)
+	if c.UserLatency != nil && n > 0 {
+		sum := 0.0
+		for v := 0; v < n; v++ {
+			sum += c.perceived(w, v)
+		}
+		mean := sum / float64(n)
+		c.UserLatency.Observe(at, mean)
+		c.userLatSum += mean
+	}
 }
 
 // finish derives the affected counts and the transient loss integral
 // once all ticks are in and the final deliverability is known.
 func (c *Curve) finish() {
+	if c.UserLatency != nil && c.Ticks > 0 {
+		c.UserLatencyMeanMs = c.userLatSum / float64(c.Ticks)
+	}
 	c.EverAffected, c.TransientAffected, c.TransientLostPacketTicks = 0, 0, 0
 	for v, lt := range c.lostTicks {
 		if lt == 0 {

@@ -25,10 +25,19 @@ type instance struct {
 	rbgpNodes  []*rbgp.Node
 	stampNodes []*core.Node
 
+	// Cost model and steering policy (nil without one).
+	cost     LinkCost
+	costFunc forwarding.CostFunc
+	steer    Steerer
+
 	// Snapshot scratch, reused across ticks.
 	walker Walker
 	single []int32
 	stamp  StampTables
+
+	// Steering scratch: forced color assignments and per-color walks.
+	allRed, allBlue []uint8
+	wr, wb          Walk
 }
 
 // newInstance constructs engine, network, and per-AS protocol nodes, and
@@ -53,7 +62,9 @@ func newInstance(proto Protocol, g *topology.Graph, params sim.Params, seed int6
 			in.rbgpNodes[a] = rbgp.NewNode(topology.ASN(a), g, in.e, in.net, rci)
 		}
 		in.rbgpNodes[dest].Originate()
-	case STAMP:
+	case STAMP, STAMPSteer:
+		// The steering arm runs STAMP's control plane unchanged; only
+		// the data-plane color stamping differs (classify).
 		in.stampNodes = make([]*core.Node, n)
 		for a := 0; a < n; a++ {
 			in.stampNodes[a] = core.NewNode(topology.ASN(a), g, in.e, in.net)
@@ -66,11 +77,25 @@ func newInstance(proto Protocol, g *topology.Graph, params sim.Params, seed int6
 	return in
 }
 
+// setCost attaches the link-quality model to the walkers and the R-BGP
+// classifier bridge.
+func (in *instance) setCost(c LinkCost) {
+	in.cost = c
+	in.walker.Cost = c
+	if c != nil {
+		in.costFunc = func(a, b topology.ASN) (float64, float64) {
+			return c.LinkLatMs(int32(a), int32(b)), c.LinkLossRate(int32(a), int32(b))
+		}
+	}
+}
+
 // classify samples the current forwarding state into out. BGP and STAMP
 // go through the flat batched walkers; R-BGP's arriving-interface- and
 // pinned-path-dependent forwarding stays on the callback classifier (its
 // state is inherently sparse), sampled synchronously while the engine is
-// paused.
+// paused. STAMPSteer classifies the same STAMP tables but stamps the
+// steering policy's current color assignment on locally sourced packets
+// in place of the nodes' preference.
 func (in *instance) classify(out *Walk) {
 	n := in.g.Len()
 	switch in.proto {
@@ -83,15 +108,58 @@ func (in *instance) classify(out *Walk) {
 		}
 		in.walker.WalkSingle(in.single, int32(in.dest), out)
 	case RBGPNoRCI, RBGP:
-		res := forwarding.ClassifyRBGP(n, in.dest, rbgpView{in.rbgpNodes, in.net})
 		out.reset(n)
+		if in.cost != nil {
+			out.resetCost(n)
+			res := forwarding.ClassifyRBGPCost(n, in.dest, rbgpView{in.rbgpNodes, in.net}, in.costFunc, out.LatMs, out.LossP)
+			for a, r := range res {
+				out.Status[a], out.Hops[a] = r.Status, r.Hops
+				// ClassifyRBGPCost reports survival; the walk stores loss.
+				out.LossP[a] = 1 - out.LossP[a]
+			}
+			return
+		}
+		res := forwarding.ClassifyRBGP(n, in.dest, rbgpView{in.rbgpNodes, in.net})
 		for a, r := range res {
 			out.Status[a], out.Hops[a] = r.Status, r.Hops
 		}
 	case STAMP:
 		in.snapshotStamp()
 		in.walker.WalkStamp(in.stamp, int32(in.dest), out)
+	case STAMPSteer:
+		in.snapshotStamp()
+		t := in.stamp
+		t.Pref = in.steer.Colors()
+		in.walker.WalkStamp(t, int32(in.dest), out)
 	}
+}
+
+// forcedWalks classifies the freshly snapshotted STAMP tables twice,
+// with every source locked to red and then to blue, into in.wr/in.wb —
+// the per-color path measurements the steering policy samples. Call
+// snapshotStamp first.
+func (in *instance) forcedWalks() {
+	n := in.g.Len()
+	if in.allRed == nil {
+		in.allRed = make([]uint8, n)
+		in.allBlue = make([]uint8, n)
+		for i := range in.allBlue {
+			in.allBlue[i] = 1
+		}
+	}
+	t := in.stamp
+	t.Pref = in.allRed
+	in.walker.WalkStamp(t, int32(in.dest), &in.wr)
+	t.Pref = in.allBlue
+	in.walker.WalkStamp(t, int32(in.dest), &in.wb)
+}
+
+// steerStep feeds the policy one tick of forced per-color measurements;
+// the policy mutates its color assignment for the next tick's classify.
+func (in *instance) steerStep() {
+	in.snapshotStamp()
+	in.forcedWalks()
+	in.steer.Step(in.wr.LatMs, in.wr.LossP, in.wb.LatMs, in.wb.LossP)
 }
 
 // snapshotStamp flattens the STAMP nodes' forwarding state into the

@@ -25,6 +25,11 @@ const (
 	DefaultEmuTicks = 150
 )
 
+// DefaultTimeoutMs is the user-perceived cost of a lost packet in the
+// user-latency accounting: the retransmission timeout an application
+// eats before giving up on the sample.
+const DefaultTimeoutMs = 400.0
+
 // SimOpts configures one simulated flow-injection run.
 type SimOpts struct {
 	// G is the AS topology (required).
@@ -49,6 +54,18 @@ type SimOpts struct {
 	// random; the sim-vs-emu parity path uses core.FirstBluePicker to
 	// match the live fleet).
 	BluePick core.BluePicker
+	// Cost, when non-nil, attaches a link latency/loss model: walks
+	// report end-to-end path latency, the curve gains the user-latency
+	// series, and link-quality script events (degrade/gray/clear) are
+	// forwarded to the model when it implements
+	// scenario.QualityExecutor. Required for STAMPSteer.
+	Cost LinkCost
+	// TimeoutMs is the perceived latency of a lost packet in the
+	// user-latency accounting (default DefaultTimeoutMs). Cost runs only.
+	TimeoutMs float64
+	// Steer is the color-steering policy (required for STAMPSteer,
+	// ignored otherwise). internal/steer.Policy implements it.
+	Steer Steerer
 	// Context, when non-nil, interrupts the engine mid-run on
 	// cancellation.
 	Context context.Context
@@ -67,6 +84,9 @@ func (o SimOpts) withDefaults() SimOpts {
 	if o.Ticks <= 0 {
 		o.Ticks = DefaultTicks
 	}
+	if o.TimeoutMs <= 0 {
+		o.TimeoutMs = DefaultTimeoutMs
+	}
 	return o
 }
 
@@ -75,17 +95,43 @@ func (o SimOpts) withDefaults() SimOpts {
 // tables are flattened and the batched walker classifies all sources in
 // one pass. After the last tick the engine drains to full convergence
 // and the final deliverability is recorded.
+//
+// For STAMPSteer the sampling loop additionally drives the steering
+// policy: each tick first classifies the data plane under the colors
+// the policy chose on the *previous* tick (decisions always lag
+// detection by one sample, as they would in deployment), then feeds the
+// policy this tick's forced all-red and all-blue path measurements so
+// it can re-decide for the next tick.
 func RunSim(o SimOpts) (*Curve, error) {
 	if o.G == nil {
 		return nil, fmt.Errorf("traffic: nil topology")
 	}
 	o = o.withDefaults()
+	if o.Proto == STAMPSteer {
+		if o.Cost == nil {
+			return nil, fmt.Errorf("traffic: STAMP-steer requires a link-cost model (SimOpts.Cost)")
+		}
+		if o.Steer == nil {
+			return nil, fmt.Errorf("traffic: STAMP-steer requires a steering policy (SimOpts.Steer)")
+		}
+	}
 	in := newInstance(o.Proto, o.G, o.Params, o.Seed, o.Script.Dest, o.BluePick)
+	in.setCost(o.Cost)
+	in.steer = o.Steer
 	if o.Context != nil {
 		in.e.SetCancel(o.Context)
 	}
 	if _, err := in.e.Run(); err != nil {
 		return nil, fmt.Errorf("traffic: initial convergence: %w", err)
+	}
+
+	if o.Proto == STAMPSteer {
+		// Seed the policy's static baselines from the healthy converged
+		// plane; the starting assignment is the nodes' own preference,
+		// so a policy that never switches IS color-locked STAMP.
+		in.snapshotStamp()
+		in.forcedWalks()
+		o.Steer.Init(in.wr.LatMs, in.wr.LossP, in.wb.LatMs, in.wb.LossP, in.stamp.Pref)
 	}
 
 	baseline := &Walk{}
@@ -94,6 +140,11 @@ func RunSim(o SimOpts) (*Curve, error) {
 	cur, err := newCurve(o.Proto, o.Flows, o.Ticks, o.Tick, o.G.Len())
 	if err != nil {
 		return nil, err
+	}
+	if o.Cost != nil {
+		if err := cur.enableUserLat(o.TimeoutMs); err != nil {
+			return nil, err
+		}
 	}
 
 	// Schedule the script's events at their virtual-time offsets.
@@ -118,6 +169,9 @@ func RunSim(o SimOpts) (*Curve, error) {
 		}
 		in.classify(w)
 		cur.observe(i, w, baseline)
+		if in.steer != nil && o.Proto == STAMPSteer {
+			in.steerStep()
+		}
 	}
 	if _, err := in.e.Run(); err != nil {
 		return nil, fmt.Errorf("traffic: failure convergence: %w", err)
@@ -146,8 +200,35 @@ func (in *instance) Withdraw(d topology.ASN) error {
 		in.bgpNodes[d].WithdrawOrigin()
 	case RBGPNoRCI, RBGP:
 		in.rbgpNodes[d].WithdrawOrigin()
-	case STAMP:
+	case STAMP, STAMPSteer:
 		in.stampNodes[d].WithdrawOrigin()
+	}
+	return nil
+}
+
+// DegradeLink implements scenario.QualityExecutor by forwarding to the
+// link-cost model when it carries quality state; without a model the
+// event is the designed no-op (quality damage is control-plane
+// invisible, and a cost-free run has no data plane to hurt).
+func (in *instance) DegradeLink(a, b topology.ASN, mult float64) error {
+	if q, ok := in.cost.(scenario.QualityExecutor); ok {
+		return q.DegradeLink(a, b, mult)
+	}
+	return nil
+}
+
+// GrayLink implements scenario.QualityExecutor.
+func (in *instance) GrayLink(a, b topology.ASN, rate float64) error {
+	if q, ok := in.cost.(scenario.QualityExecutor); ok {
+		return q.GrayLink(a, b, rate)
+	}
+	return nil
+}
+
+// ClearLink implements scenario.QualityExecutor.
+func (in *instance) ClearLink(a, b topology.ASN) error {
+	if q, ok := in.cost.(scenario.QualityExecutor); ok {
+		return q.ClearLink(a, b)
 	}
 	return nil
 }

@@ -46,10 +46,20 @@ const (
 	// STAMP is the paper's multi-process protocol with switch-once
 	// color forwarding.
 	STAMP
+	// STAMPSteer is STAMP with latency-aware color steering: the same
+	// control plane and data plane, but each source's stamped color is
+	// driven by a health-monitoring policy (internal/steer) instead of
+	// the node's static preference. Requires SimOpts.Cost and
+	// SimOpts.Steer.
+	STAMPSteer
 )
 
 // AllProtocols lists the protocols in the paper's presentation order.
 func AllProtocols() []Protocol { return []Protocol{BGP, RBGPNoRCI, RBGP, STAMP} }
+
+// GridProtocols is the steering comparison grid: the paper's arms with
+// R-BGP-without-RCI swapped for the steering arm.
+func GridProtocols() []Protocol { return []Protocol{BGP, RBGP, STAMP, STAMPSteer} }
 
 // String names the protocol as in the paper's figures.
 func (p Protocol) String() string {
@@ -62,6 +72,8 @@ func (p Protocol) String() string {
 		return "R-BGP"
 	case STAMP:
 		return "STAMP"
+	case STAMPSteer:
+		return "STAMP-steer"
 	}
 	return fmt.Sprintf("Protocol(%d)", int(p))
 }
@@ -80,16 +92,45 @@ func ParseProtocol(s string) (Protocol, error) {
 		return RBGP, nil
 	case "stamp":
 		return STAMP, nil
+	case "stamp-steer":
+		return STAMPSteer, nil
 	}
-	return 0, fmt.Errorf("unknown protocol %q (want bgp, rbgp-norci, rbgp, or stamp)", s)
+	return 0, fmt.Errorf("unknown protocol %q (want bgp, rbgp-norci, rbgp, stamp, or stamp-steer)", s)
+}
+
+// Steerer is the color-steering hook the STAMP-steer arm drives. It is
+// defined here (not in internal/steer, which implements it) so the
+// traffic engine stays below the steering subsystem in the import
+// graph. All slices are indexed by source AS; colors are 0 red, 1 blue.
+type Steerer interface {
+	// Init seeds the policy from the converged pre-event data plane:
+	// per-color forced-path latency/loss samples become the static
+	// baselines, and pref (the nodes' own color preference) becomes the
+	// starting assignment. Called once, before any Step.
+	Init(redLat, redLossP, blueLat, blueLossP []float32, pref []uint8)
+	// Colors returns the current per-source color assignment. The
+	// engine stamps these on locally sourced packets in place of the
+	// nodes' preference; the slice is owned by the policy and mutated
+	// by Step.
+	Colors() []uint8
+	// Step feeds one sampling tick's forced per-color measurements; the
+	// policy updates Colors for the next tick. Samples use NoLat for
+	// unreachable.
+	Step(redLat, redLossP, blueLat, blueLossP []float32)
 }
 
 // Walk is the outcome of one batched classification pass, in
 // structure-of-arrays layout: one status and hop count per source AS.
 // Hops is forwarding.NoHops for sources whose packets never arrive.
+// When the walker carries a LinkCost model, LatMs and LossP
+// additionally hold the end-to-end path latency (NoLat if undelivered)
+// and the path gray-loss probability (1 if undelivered); they are nil
+// on cost-free walks.
 type Walk struct {
 	Status []forwarding.Status
 	Hops   []int32
+	LatMs  []float32
+	LossP  []float32
 }
 
 // reset sizes the walk for n sources.
@@ -100,6 +141,16 @@ func (w *Walk) reset(n int) {
 	}
 	w.Status = w.Status[:n]
 	w.Hops = w.Hops[:n]
+}
+
+// resetCost sizes the cost arrays for n sources.
+func (w *Walk) resetCost(n int) {
+	if cap(w.LatMs) < n {
+		w.LatMs = make([]float32, n)
+		w.LossP = make([]float32, n)
+	}
+	w.LatMs = w.LatMs[:n]
+	w.LossP = w.LossP[:n]
 }
 
 // Delivered counts delivered sources.

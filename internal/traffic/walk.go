@@ -22,12 +22,35 @@ const (
 	wDone    uint8 = 2
 )
 
+// LinkCost is the optional link-quality model the walkers consult to
+// report end-to-end path latency and loss alongside delivery. The
+// steering subsystem's latency model (internal/steer.Model) implements
+// it; a nil Cost keeps the walkers on the delivery-only fast path.
+type LinkCost interface {
+	// LinkLatMs is the current latency of link a--b in milliseconds
+	// (baseline × any degradation multiplier).
+	LinkLatMs(a, b int32) float64
+	// LinkLossRate is the current gray-loss rate of link a--b in [0, 1).
+	LinkLossRate(a, b int32) float64
+}
+
+// NoLat marks a source with no delivered path in Walk.LatMs.
+const NoLat = float32(-1)
+
 // Walker holds the scratch buffers of the batched walkers. The zero
 // value is ready to use; a Walker is not goroutine-safe.
 type Walker struct {
+	// Cost, when non-nil, attaches a link-quality model: walks
+	// additionally accumulate per-source path latency and loss into
+	// Walk.LatMs/LossP. Memoized like hops, so the cost path stays
+	// 0 allocs/op in the steady state.
+	Cost LinkCost
+
 	state []uint8
 	hops  []int32
 	stack []int32
+	lat   []float32
+	surv  []float32
 }
 
 // scratch returns zeroed state and hop buffers of length n.
@@ -44,16 +67,38 @@ func (w *Walker) scratch(n int) ([]uint8, []int32) {
 	return w.state, w.hops
 }
 
+// costScratch returns latency/survival buffers of length n. No zeroing:
+// entries are written before they are read (only delivered states are
+// ever consulted, and each is written when resolved).
+func (w *Walker) costScratch(n int) ([]float32, []float32) {
+	if cap(w.lat) < n {
+		w.lat = make([]float32, n)
+		w.surv = make([]float32, n)
+	}
+	return w.lat[:n], w.surv[:n]
+}
+
 // unwind resolves every state on the chain stack with the terminal
 // outcome, incrementing hops per chain link on delivery, and returns the
-// emptied stack.
-func unwind(stack []int32, st []uint8, hp []int32, term forwarding.Status, termHops int32) []int32 {
+// emptied stack. With a cost model attached (lat/surv non-nil),
+// delivered chains also accumulate latency and survival link by link
+// from the terminal state termID upward; div maps state ids to node
+// indices (1 for single-plane walks, 4 for STAMP's (color, switched)
+// states).
+func (w *Walker) unwind(stack []int32, st []uint8, hp []int32, lat, surv []float32, term forwarding.Status, termHops, termID, div int32) []int32 {
 	done := wDone + uint8(term)
+	prev := termID
 	for i := len(stack) - 1; i >= 0; i-- {
 		u := stack[i]
 		if term == forwarding.Delivered {
 			termHops++
 			hp[u] = termHops
+			if lat != nil {
+				a, b := u/div, prev/div
+				lat[u] = lat[prev] + float32(w.Cost.LinkLatMs(a, b))
+				surv[u] = surv[prev] * float32(1-w.Cost.LinkLossRate(a, b))
+				prev = u
+			}
 		} else {
 			hp[u] = forwarding.NoHops
 		}
@@ -70,6 +115,10 @@ func (w *Walker) WalkSingle(next []int32, dest int32, out *Walk) {
 	n := len(next)
 	out.reset(n)
 	st, hp := w.scratch(n)
+	var lat, surv []float32
+	if w.Cost != nil {
+		lat, surv = w.costScratch(n)
+	}
 	stack := w.stack[:0]
 	for src := 0; src < n; src++ {
 		v := int32(src)
@@ -92,6 +141,9 @@ func (w *Walker) WalkSingle(next []int32, dest int32, out *Walk) {
 			switch {
 			case v == dest, nh == v:
 				st[v], hp[v] = wDone+uint8(forwarding.Delivered), 0
+				if lat != nil {
+					lat[v], surv[v] = 0, 1
+				}
 				term, termHops = forwarding.Delivered, 0
 				break chain
 			case nh < 0:
@@ -103,12 +155,22 @@ func (w *Walker) WalkSingle(next []int32, dest int32, out *Walk) {
 			stack = append(stack, v)
 			v = nh
 		}
-		stack = unwind(stack, st, hp, term, termHops)
+		stack = w.unwind(stack, st, hp, lat, surv, term, termHops, v, 1)
 	}
 	w.stack = stack
 	for v := 0; v < n; v++ {
 		out.Status[v] = forwarding.Status(st[v] - wDone)
 		out.Hops[v] = hp[v]
+	}
+	if w.Cost != nil {
+		out.resetCost(n)
+		for v := 0; v < n; v++ {
+			if out.Status[v] == forwarding.Delivered {
+				out.LatMs[v], out.LossP[v] = lat[v], 1-surv[v]
+			} else {
+				out.LatMs[v], out.LossP[v] = NoLat, 1
+			}
+		}
 	}
 }
 
@@ -141,11 +203,18 @@ func (w *Walker) WalkStamp(t StampTables, dest int32, out *Walk) {
 	n := len(t.NextRed)
 	out.reset(n)
 	st, hp := w.scratch(n * 4)
+	var lat, surv []float32
+	if w.Cost != nil {
+		lat, surv = w.costScratch(n * 4)
+	}
 	stack := w.stack[:0]
 	// All four destination states deliver locally, whatever the tables
 	// say (a packet sourced at the destination has arrived).
 	for _, id := range [4]int32{dest * 4, dest*4 + 1, dest*4 + 2, dest*4 + 3} {
 		st[id], hp[id] = wDone+uint8(forwarding.Delivered), 0
+		if lat != nil {
+			lat[id], surv[id] = 0, 1
+		}
 	}
 
 	for src := 0; src < n; src++ {
@@ -197,6 +266,9 @@ func (w *Walker) WalkStamp(t StampTables, dest int32, out *Walk) {
 			}
 			if nh == v {
 				st[id], hp[id] = wDone+uint8(forwarding.Delivered), 0
+				if lat != nil {
+					lat[id], surv[id] = 0, 1
+				}
 				term, termHops = forwarding.Delivered, 0
 				break chain
 			}
@@ -204,12 +276,23 @@ func (w *Walker) WalkStamp(t StampTables, dest int32, out *Walk) {
 			stack = append(stack, id)
 			id = to
 		}
-		stack = unwind(stack, st, hp, term, termHops)
+		stack = w.unwind(stack, st, hp, lat, surv, term, termHops, id, 4)
 	}
 	w.stack = stack
 	for v := 0; v < n; v++ {
 		id := stampState(int32(v), t.Pref[v], false)
 		out.Status[v] = forwarding.Status(st[id] - wDone)
 		out.Hops[v] = hp[id]
+	}
+	if w.Cost != nil {
+		out.resetCost(n)
+		for v := 0; v < n; v++ {
+			id := stampState(int32(v), t.Pref[v], false)
+			if out.Status[v] == forwarding.Delivered {
+				out.LatMs[v], out.LossP[v] = lat[id], 1-surv[id]
+			} else {
+				out.LatMs[v], out.LossP[v] = NoLat, 1
+			}
+		}
 	}
 }
