@@ -21,6 +21,7 @@ import (
 	"stamp/internal/disjoint"
 	"stamp/internal/emu"
 	"stamp/internal/experiments"
+	"stamp/internal/prov"
 	"stamp/internal/runner"
 	"stamp/internal/scenario"
 	"stamp/internal/sim"
@@ -476,6 +477,28 @@ func BenchmarkAtlasIncremental(b *testing.B) {
 		eng := atlas.NewEngine(g, atlas.DefaultParams())
 		eng.Trace(trace.New(trace.Options{SampleEvery: 64}))
 		st := eng.NewState()
+		if err := eng.InitDest(st, dest); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.ApplyEvent(st, events[i%len(events)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	})
+	// Same hot loop with the route-provenance journal attached — the
+	// `serve`/`why` configuration. The prov/incremental ns-per-op ratio
+	// is the provenance overhead (CI gates it < 5%,
+	// prov_overhead_ratio in the merged summary), and the journaled
+	// variant must still report 0 allocs/op: entries land in a
+	// preallocated ring.
+	b.Run("prov", func(b *testing.B) {
+		eng := atlas.NewEngine(g, atlas.DefaultParams())
+		st := eng.NewState()
+		st.SetJournal(prov.NewJournal(1 << 16))
 		if err := eng.InitDest(st, dest); err != nil {
 			b.Fatal(err)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 
+	"stamp/internal/prov"
 	"stamp/internal/scenario"
 	"stamp/internal/topology"
 	"stamp/internal/trace"
@@ -211,6 +212,56 @@ type State struct {
 	trcParent  uint64
 	trcRoot    uint64
 	traceShard int
+
+	// j is the optional route-provenance journal (internal/prov): when
+	// attached, every current-route mutation appends one fixed-size
+	// entry. nil costs one predicted branch per change site; attached
+	// stays 0 allocs/op (the ring is preallocated). Like the trace
+	// context, NOT cleared by reset — the owner manages its lifetime,
+	// and initConverge Resets the journal contents instead.
+	j *prov.Journal
+}
+
+// SetJournal attaches a route-provenance journal: every subsequent
+// route change in any plane appends one entry, and InitDest /
+// ConvergeScratch reset the journal so its contents always describe
+// the state's current destination fixpoint. Pass nil to detach.
+func (st *State) SetJournal(j *prov.Journal) { st.j = j }
+
+// Journal returns the attached provenance journal (nil when detached).
+func (st *State) Journal() *prov.Journal { return st.j }
+
+// provJournal implements engineState.
+func (st *State) provJournal() *prov.Journal { return st.j }
+
+// nextHopAS resolves a via slot (adjacency-entry index; -1 none, -2
+// origin) to the dense AS id of the next hop — the journal records
+// next hops, not adjacency slots, so entries survive comparison with
+// RouteAt and walk AS-to-AS.
+func (st *State) nextHopAS(v int32) int32 {
+	if v >= 0 {
+		return int32(st.g.nbr[v])
+	}
+	return v
+}
+
+// note journals one route change at AS a in plane p: prev is the route
+// captured before the mutation, the new route is read from the slabs.
+// Routeless sides normalize to (kind 0, dist 0, next -1), matching
+// StateView.RouteAt. Callers guard on st.j != nil.
+func (st *State) note(p int, a, round int32, cause prov.Cause, pk int8, pd, pv int32) {
+	nk, nd, nv := st.curKind[p][a], st.curDist[p][a], st.curVia[p][a]
+	if pk == kindNone {
+		pd, pv = 0, -1
+	} else {
+		pv = st.nextHopAS(pv)
+	}
+	if nk == kindNone {
+		nd, nv = 0, -1
+	} else {
+		nv = st.nextHopAS(nv)
+	}
+	st.j.Note(a, round, cause, pk, pd, pv, nk, nd, nv)
 }
 
 // SetTrace attaches an externally-owned trace context: the next
@@ -352,9 +403,22 @@ func (st *State) computeChain() bool {
 
 // initPlane seeds a plane from scratch: origin at dest, everything else
 // routeless, queues holding just the origin's first advertisement.
+// With a journal attached, the wholesale clear is journaled as an
+// explicit route loss for every AS that held a route (so the journal's
+// latest-entry-per-AS invariant survives re-roots), except the origin
+// when its pinned route carries over unchanged.
 func (st *State) initPlane(p int) {
 	n := st.g.Len()
+	j := st.j
+	origin := !st.withdrawn && !st.nodeDown[st.dest]
+	d := int32(st.dest)
+	keptOrigin := origin && st.curKind[p][d] != kindNone && st.curVia[p][d] == -2
 	for a := 0; a < n; a++ {
+		if j != nil && st.curKind[p][a] != kindNone && (int32(a) != d || !keptOrigin) {
+			pk, pd, pv := st.curKind[p][a], st.curDist[p][a], st.curVia[p][a]
+			st.curKind[p][a] = kindNone
+			st.note(p, int32(a), 0, j.WindowCause(0), pk, pd, pv)
+		}
 		st.curKind[p][a] = kindNone
 		st.curDist[p][a] = inf
 		st.curVia[p][a] = -1
@@ -362,14 +426,16 @@ func (st *State) initPlane(p int) {
 		st.advDist[p][a] = inf
 	}
 	st.frontLen, st.pendLen = 0, 0
-	if st.withdrawn || st.nodeDown[st.dest] {
+	if !origin {
 		return
 	}
-	d := st.dest
 	st.curKind[p][d] = kindCustomer
 	st.curDist[p][d] = 0
 	st.curVia[p][d] = -2
-	st.pendAdd(int32(d))
+	if j != nil && !keptOrigin {
+		st.note(p, d, 0, j.WindowCause(0), kindNone, 0, -1)
+	}
+	st.pendAdd(d)
 }
 
 func (st *State) frontAdd(a int32) {
@@ -493,6 +559,7 @@ func (st *State) converge(p int, mrai int32, out *PlaneOutcome) (int32, error) {
 		sp.Arg("seed_frontier", int64(st.frontLen))
 	}
 	startChanged := out.Changed
+	j := st.j
 	// Safety bound: Gao-Rexford policies are provably safe under any
 	// activation order, so this fires only on an engine bug.
 	maxRounds := int32(10_000) + 16*int32(g.Len())
@@ -502,6 +569,10 @@ func (st *State) converge(p int, mrai int32, out *PlaneOutcome) (int32, error) {
 		if round > maxRounds {
 			sp.End()
 			return round, fmt.Errorf("atlas: plane %d exceeded %d rounds at dest %d; engine bug", p, maxRounds, st.dest)
+		}
+		var cause prov.Cause
+		if j != nil {
+			cause = j.WindowCause(round)
 		}
 		roundChanged := out.Changed
 		// Phase 1: every frontier AS re-evaluates from advertisements.
@@ -514,8 +585,16 @@ func (st *State) converge(p int, mrai int32, out *PlaneOutcome) (int32, error) {
 				continue // the origin's route is pinned
 			}
 			had := st.curKind[p][a] != kindNone
+			var pk int8
+			var pd, pv int32
+			if j != nil {
+				pk, pd, pv = st.curKind[p][a], st.curDist[p][a], st.curVia[p][a]
+			}
 			if !st.recompute(p, a) {
 				continue
+			}
+			if j != nil {
+				st.note(p, a, round, cause, pk, pd, pv)
 			}
 			if st.markChanged(p, a) {
 				out.Changed++
@@ -602,12 +681,16 @@ func (st *State) cascade(p int, out *PlaneOutcome) {
 			if !dead {
 				continue
 			}
+			pk, pd, pv := st.curKind[p][a], st.curDist[p][a], st.curVia[p][a]
 			st.curKind[p][a] = kindNone
 			st.curDist[p][a] = inf
 			st.curVia[p][a] = -1
 			st.advKind[p][a] = kindNone
 			st.advDist[p][a] = inf
 			st.lostSince[a] = 0
+			if st.j != nil {
+				st.note(p, a, 0, prov.CauseCascade, pk, pd, pv)
+			}
 			if st.markChanged(p, a) {
 				out.Changed++
 			}
@@ -734,6 +817,10 @@ type engineState interface {
 	clearLoss(p int)
 	accumulateGroupLoss(out *DestOutcome)
 	accumulateFinal(out *DestOutcome)
+	// provJournal returns the attached route-provenance journal (nil
+	// when detached); the driver stages event/window context on it so
+	// both engines journal identically.
+	provJournal() *prov.Journal
 }
 
 // ConvergeDest runs one destination shard: initial three-plane
@@ -784,6 +871,8 @@ func planesOf(out *DestOutcome) [planeCount]*PlaneOutcome {
 // the loss and churn accounting is cleared afterwards.
 func initConverge(st engineState, params Params, dest topology.ASN, pre []scenario.Event) error {
 	st.reset(dest)
+	j := st.provJournal()
+	j.Reset() // the journal describes one destination fixpoint; event 0 is this initial convergence
 	out := st.outcome()
 	*out = DestOutcome{Dest: dest}
 	for _, ev := range pre {
@@ -796,6 +885,7 @@ func initConverge(st engineState, params Params, dest topology.ASN, pre []scenar
 	st.computeChain()
 	for p := 0; p < planeCount; p++ {
 		st.beginWindow(p)
+		j.BeginWindow(p, false)
 		st.initPlane(p)
 		rounds, err := st.converge(p, mrai, planes[p])
 		if err != nil {
@@ -827,12 +917,15 @@ func stepGroup(st engineState, params Params, group []scenario.Event) (bool, err
 		}
 	}
 	chainChanged := st.computeChain()
+	j := st.provJournal()
+	j.BeginEvent()
 	var redEpoch int32
 	for p := 0; p < planeCount; p++ {
 		epoch := st.beginWindow(p)
 		if p == planeRed {
 			redEpoch = epoch
 		}
+		j.BeginWindow(p, (p == planeBlue || p == planeRed) && chainChanged)
 		if (p == planeBlue || p == planeRed) && chainChanged {
 			// The lock chain moved: both colors' selective rules
 			// changed, so the plane re-roots from scratch — the
@@ -982,6 +1075,12 @@ func (e *Engine) ApplyEvent(st *State, ev scenario.Event) (EventCost, error) {
 		sp.Arg("stamp_lost", cost.StampLost)
 		if cost.Reroot {
 			sp.Arg("reroot", 1)
+		}
+		if st.j != nil {
+			// Cross-reference: the journal seq as of this span's end, so
+			// Perfetto spans and provenance entries line up (the event's
+			// entries are the ones at or below this seq with its event id).
+			sp.Arg("prov_seq", int64(st.j.LastSeq()))
 		}
 		sp.End()
 	}

@@ -3,6 +3,7 @@ package atlas
 import (
 	"testing"
 
+	"stamp/internal/prov"
 	"stamp/internal/scenario"
 	"stamp/internal/topology"
 	"stamp/internal/trace"
@@ -147,10 +148,11 @@ func FuzzIncrementalConverge(f *testing.F) {
 // TestIncrementalHotLoopAllocs is the deterministic allocs/op gate on
 // the incremental path, mirroring TestConvergeHotLoopAllocs for the
 // grouped driver: one InitDest plus a full storm event stream on a
-// reused state allocates nothing. Tracing is compiled into that path
-// now, so the gate runs three ways: tracer detached (nil), tracer
-// attached but not sampling this stream, and tracer attached with
-// every event sampled — all must stay at 0 allocs/op.
+// reused state allocates nothing. Tracing and provenance are compiled
+// into that path now, so the gate runs four ways: tracer detached
+// (nil), tracer attached but not sampling this stream, tracer attached
+// with every event sampled, and the provenance journal attached on top
+// of full sampling — all must stay at 0 allocs/op.
 func TestIncrementalHotLoopAllocs(t *testing.T) {
 	_, g := testGraph(t, 300, 5)
 	groups := stormGroups(t, g, 19)
@@ -159,18 +161,23 @@ func TestIncrementalHotLoopAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	cases := []struct {
-		name   string
-		tracer *trace.Tracer
+		name    string
+		tracer  *trace.Tracer
+		journal bool
 	}{
-		{"no-tracer", nil},
-		{"tracer-not-sampled", trace.New(trace.Options{Shards: 1, SampleEvery: 1 << 30})},
-		{"tracer-sampled", trace.New(trace.Options{Shards: 1, BufferPerShard: 4096})},
+		{"no-tracer", nil, false},
+		{"tracer-not-sampled", trace.New(trace.Options{Shards: 1, SampleEvery: 1 << 30}), false},
+		{"tracer-sampled", trace.New(trace.Options{Shards: 1, BufferPerShard: 4096}), false},
+		{"journal", trace.New(trace.Options{Shards: 1, BufferPerShard: 4096}), true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			eng := NewEngine(g, DefaultParams())
 			eng.Trace(tc.tracer)
 			st := eng.NewState()
+			if tc.journal {
+				st.SetJournal(prov.NewJournal(1 << 14))
+			}
 			// Burn the sampler's always-sampled first decision outside the
 			// measured loop so the not-sampled case measures the skip path.
 			eng.InitDest(st, dests[0])

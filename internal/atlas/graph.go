@@ -141,6 +141,23 @@ func (g *Graph) OriginalASN(a topology.ASN) int64 {
 	return g.orig[a]
 }
 
+// DenseASN maps an original (snapshot) ASN back to its dense internal
+// id — the inverse of OriginalASN. Linear scan; query paths only.
+func (g *Graph) DenseASN(orig int64) (topology.ASN, bool) {
+	if g.orig == nil {
+		if orig >= 0 && orig < int64(g.n) {
+			return topology.ASN(orig), true
+		}
+		return -1, false
+	}
+	for i, o := range g.orig {
+		if o == orig {
+			return topology.ASN(i), true
+		}
+	}
+	return -1, false
+}
+
 // builder accumulates directed relationship entries and freezes them
 // into CSR form.
 type builder struct {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 
+	"stamp/internal/prov"
 	"stamp/internal/scenario"
 	"stamp/internal/topology"
 )
@@ -65,6 +66,43 @@ type MapState struct {
 	// inited/evScratch mirror State's incremental-mode plumbing.
 	inited    bool
 	evScratch [1]scenario.Event
+
+	// j mirrors State.j: the optional route-provenance journal. Entry
+	// ORDER within a window differs from the flat engine (map iteration
+	// is unordered) but the latest-entry-per-(plane, AS) semantics every
+	// query uses are identical.
+	j *prov.Journal
+}
+
+// SetJournal mirrors State.SetJournal on the map reference.
+func (st *MapState) SetJournal(j *prov.Journal) { st.j = j }
+
+// Journal returns the attached provenance journal (nil when detached).
+func (st *MapState) Journal() *prov.Journal { return st.j }
+
+// provJournal implements engineState.
+func (st *MapState) provJournal() *prov.Journal { return st.j }
+
+// nextHopAS mirrors State.nextHopAS.
+func (st *MapState) nextHopAS(v int32) int32 {
+	if v >= 0 {
+		return int32(st.g.nbr[v])
+	}
+	return v
+}
+
+// note mirrors State.note: journal one route change at AS a in plane
+// p, prev captured before the mutation, new read from the map.
+func (st *MapState) note(p int, a, round int32, cause prov.Cause, prev mapRoute, had bool) {
+	pk, pd, pv := int8(kindNone), int32(0), int32(-1)
+	if had {
+		pk, pd, pv = prev.kind, prev.dist, st.nextHopAS(prev.via)
+	}
+	nk, nd, nv := int8(kindNone), int32(0), int32(-1)
+	if cur, ok := st.cur[p][a]; ok {
+		nk, nd, nv = cur.kind, cur.dist, st.nextHopAS(cur.via)
+	}
+	st.j.Note(a, round, cause, pk, pd, pv, nk, nd, nv)
 }
 
 // outcome implements engineState.
@@ -242,13 +280,32 @@ func (st *MapState) beginWindow(p int) int32 {
 }
 
 func (st *MapState) initPlane(p int) {
+	j := st.j
+	origin := !st.withdrawn && !st.nodeDown[st.dest]
+	d := int32(st.dest)
+	keptOrigin := false
+	if j != nil {
+		if r, ok := st.cur[p][d]; ok && origin && r.via == -2 {
+			keptOrigin = true
+		}
+		// Journal the wholesale clear like the flat engine does, so the
+		// latest-entry invariant survives re-roots on this storage too.
+		for a, r := range st.cur[p] {
+			if a == d && keptOrigin {
+				continue
+			}
+			j.Note(a, 0, j.WindowCause(0), r.kind, r.dist, st.nextHopAS(r.via), kindNone, 0, -1)
+		}
+	}
 	st.cur[p] = make(map[int32]mapRoute)
 	st.adv[p] = make(map[int32]mapRoute)
-	if st.withdrawn || st.nodeDown[st.dest] {
+	if !origin {
 		return
 	}
-	d := int32(st.dest)
 	st.cur[p][d] = mapRoute{kind: kindCustomer, dist: 0, via: -2}
+	if j != nil && !keptOrigin {
+		j.Note(d, 0, j.WindowCause(0), kindNone, 0, -1, kindCustomer, 0, -2)
+	}
 	st.pend[d] = true
 	st.wantPub[d] = true
 }
@@ -350,15 +407,22 @@ func (st *MapState) converge(p int, mrai int32, out *PlaneOutcome) (int32, error
 		if round > maxRounds {
 			return round, fmt.Errorf("atlas: map engine plane %d exceeded %d rounds at dest %d; engine bug", p, maxRounds, st.dest)
 		}
+		var cause prov.Cause
+		if st.j != nil {
+			cause = st.j.WindowCause(round)
+		}
 		frontier := st.front
 		st.front = make(map[int32]bool)
 		for a := range frontier {
 			if topology.ASN(a) == st.dest && !st.withdrawn && !st.nodeDown[st.dest] {
 				continue
 			}
-			_, had := st.cur[p][a]
+			old, had := st.cur[p][a]
 			if !st.recompute(p, a) {
 				continue
+			}
+			if st.j != nil {
+				st.note(p, a, round, cause, old, had)
 			}
 			if st.markChanged(p, a) {
 				out.Changed++
@@ -434,6 +498,9 @@ func (st *MapState) cascade(p int, out *PlaneOutcome) {
 			delete(st.cur[p], a)
 			delete(st.adv[p], a)
 			st.lostSince[a] = 0
+			if st.j != nil {
+				st.note(p, a, 0, prov.CauseCascade, r, true)
+			}
 			if st.markChanged(p, a) {
 				out.Changed++
 			}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"stamp/internal/prov"
 	"stamp/internal/runner"
 	"stamp/internal/scenario"
 	"stamp/internal/topology"
@@ -46,6 +47,14 @@ type ReplayOptions struct {
 	// of InitDest/ApplyEvent calls (see internal/trace). Side-effect
 	// only: the report stays byte-identical for any worker count.
 	Tracer *trace.Tracer
+	// Why, when non-nil, attaches a route-provenance journal to the
+	// selected destination's shard and reports the causal chain for
+	// (Dest, AS) after the stream completes. Only that one shard
+	// journals, and its event order is the stream order, so the report
+	// stays byte-identical for any worker count.
+	Why *WhySpec
+	// ProvCap sizes the why journal in entries (<= 0: 1<<16).
+	ProvCap int
 }
 
 // EventReport aggregates one stream position over all destination
@@ -95,6 +104,9 @@ type ReplayReport struct {
 	// independent of worker count.
 	PerEvent []EventReport `json:"per_event"`
 	PerDest  []DestOutcome `json:"per_dest"`
+	// Why is the provenance chain for the requested (dest, AS) pair
+	// (ReplayOptions.Why), absent when no -why was asked.
+	Why *WhyReport `json:"why,omitempty"`
 }
 
 // replayShard is one destination's replay result before the fold.
@@ -195,6 +207,52 @@ func Replay(opts ReplayOptions) (*ReplayReport, error) {
 	eng := NewEngine(g, opts.Params)
 	eng.Trace(opts.Tracer)
 
+	// -why: journal exactly one shard. The journal belongs to the shard,
+	// not the pooled state — it is attached for that shard's run only.
+	var (
+		whyJournal *prov.Journal
+		whyShard   = -1
+		whyDest    topology.ASN
+		whyAS      topology.ASN
+	)
+	if opts.Why != nil {
+		whySpec := *opts.Why
+		if whySpec.Auto {
+			// First sampled dest, first CSR neighbor: deterministic and
+			// always present (sampled dests are multihomed).
+			whyShard, whyDest = 0, dests[0]
+			whyAS = g.nbr[g.off[whyDest]]
+		} else {
+			d, ok := g.DenseASN(whySpec.Dest)
+			if !ok {
+				return nil, fmt.Errorf("atlas: -why destination AS %d not in the topology", whySpec.Dest)
+			}
+			a, ok := g.DenseASN(whySpec.AS)
+			if !ok {
+				return nil, fmt.Errorf("atlas: -why AS %d not in the topology", whySpec.AS)
+			}
+			whyDest, whyAS = d, a
+			for i, dd := range dests {
+				if dd == d {
+					whyShard = i
+					break
+				}
+			}
+			if whyShard < 0 {
+				sampled := make([]int64, len(dests))
+				for i, dd := range dests {
+					sampled[i] = g.OriginalASN(dd)
+				}
+				return nil, fmt.Errorf("atlas: -why destination AS %d is not a sampled dest (sampled: %v)", whySpec.Dest, sampled)
+			}
+		}
+		provCap := opts.ProvCap
+		if provCap <= 0 {
+			provCap = 1 << 16
+		}
+		whyJournal = prov.NewJournal(provCap)
+	}
+
 	pool := sync.Pool{New: func() any { return eng.NewState() }}
 	spec := runner.Spec[replayShard]{
 		Name:   fmt.Sprintf("atlas-replay(%v)", opts.Scenario),
@@ -207,6 +265,10 @@ func Replay(opts ReplayOptions) (*ReplayReport, error) {
 			st := pool.Get().(*State)
 			defer pool.Put(st)
 			st.SetTraceShard(t.Index)
+			if t.Index == whyShard {
+				st.SetJournal(whyJournal)
+				defer st.SetJournal(nil)
+			}
 			dest := dests[t.Index]
 			if err := eng.InitDest(st, dest); err != nil {
 				return replayShard{}, err
@@ -271,6 +333,9 @@ func Replay(opts ReplayOptions) (*ReplayReport, error) {
 	finishPlane(&rep.BGP, len(dests))
 	finishPlane(&rep.Red, len(dests))
 	finishPlane(&rep.Blue, len(dests))
+	if whyJournal != nil {
+		rep.Why = BuildWhy(g, whyJournal, whyDest, whyAS)
+	}
 	return rep, nil
 }
 
@@ -298,5 +363,8 @@ func (r *ReplayReport) Print(w io.Writer) {
 		}
 		fmt.Fprintf(w, "  worst event: #%d %s (cycle %d) — %d max rounds, %d routes churned; %d reroots across the stream\n",
 			worst.Index, worst.Op, worst.Cycle, worst.MaxRounds, worst.Changed, reroots)
+	}
+	if r.Why != nil {
+		r.Why.Print(w)
 	}
 }

@@ -1,0 +1,153 @@
+package atlas
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"stamp/internal/prov"
+	"stamp/internal/topology"
+)
+
+// The query side of route provenance: WhySpec selects a (dest, AS)
+// pair, BuildWhy renders the journal's causal chains with original
+// (snapshot) ASNs, and WhyReport is the JSON/printed shape both `stamp
+// atlas -replay -why` and serve's GET /state/{dest}/{as}/why emit.
+
+// WhySpec selects the (dest, AS) pair whose provenance chain a replay
+// records and reports. ASNs are original (snapshot) numbers, like
+// every other external surface.
+type WhySpec struct {
+	Dest int64
+	AS   int64
+	// Auto picks the first sampled destination and its first CSR
+	// neighbor — a deterministic pair that always exists, for smoke
+	// tests and schema fixtures that cannot know the sampled ASNs.
+	Auto bool
+}
+
+// ParseWhy parses the CLI/lab spelling: "DEST:AS" or "auto".
+func ParseWhy(s string) (WhySpec, error) {
+	if s == "auto" {
+		return WhySpec{Auto: true}, nil
+	}
+	ds, as, ok := strings.Cut(s, ":")
+	if !ok {
+		return WhySpec{}, fmt.Errorf("atlas: -why wants DEST:AS (original ASNs) or 'auto', got %q", s)
+	}
+	d, err := strconv.ParseInt(ds, 10, 64)
+	if err != nil {
+		return WhySpec{}, fmt.Errorf("atlas: bad -why destination %q: %w", ds, err)
+	}
+	a, err := strconv.ParseInt(as, 10, 64)
+	if err != nil {
+		return WhySpec{}, fmt.Errorf("atlas: bad -why AS %q: %w", as, err)
+	}
+	return WhySpec{Dest: d, AS: a}, nil
+}
+
+// WhyHop is one journal entry of a causal chain, rendered with
+// original ASNs and symbolic kinds/causes.
+type WhyHop struct {
+	Seq   uint64 `json:"seq"`
+	Event uint64 `json:"event"`
+	Round int32  `json:"round"`
+	Cause string `json:"cause"`
+	AS    int64  `json:"as"`
+	// Kind/Dist/Next describe the hop's CURRENT route (the entry's new
+	// side); Next is omitted at the origin and for routeless terminals.
+	Kind     string `json:"kind"`
+	Dist     int32  `json:"dist"`
+	Next     int64  `json:"next,omitempty"`
+	Origin   bool   `json:"origin,omitempty"`
+	PrevKind string `json:"prev_kind"`
+	PrevDist int32  `json:"prev_dist"`
+}
+
+// WhyChain is one plane's chain, head (the asking AS) first.
+type WhyChain struct {
+	Plane string   `json:"plane"`
+	Hops  []WhyHop `json:"hops"`
+	// Truncated reports that ring eviction cut the walk short: the
+	// hops are correct but do not reach the origin.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// WhyReport is the full three-plane answer for one (dest, AS) pair.
+type WhyReport struct {
+	Dest    int64      `json:"dest"`
+	AS      int64      `json:"as"`
+	Appends uint64     `json:"journal_appends"`
+	Evicted uint64     `json:"journal_evicted"`
+	Chains  []WhyChain `json:"chains"`
+}
+
+// BuildWhy reconstructs all three planes' causal chains for dense AS
+// `as` from a journal recorded over g. The caller owns any locking
+// that orders this read against the journal's writer.
+func BuildWhy(g *Graph, j *prov.Journal, dest, as topology.ASN) *WhyReport {
+	rep := &WhyReport{
+		Dest:    g.OriginalASN(dest),
+		AS:      g.OriginalASN(as),
+		Appends: j.Appends(),
+		Evicted: j.Evicted(),
+		Chains:  make([]WhyChain, planeCount),
+	}
+	for p := 0; p < planeCount; p++ {
+		entries, trunc := j.Chain(p, int32(as))
+		c := WhyChain{Plane: PlaneName(p), Truncated: trunc, Hops: make([]WhyHop, len(entries))}
+		for i, e := range entries {
+			h := WhyHop{
+				Seq:      e.Seq,
+				Event:    e.Event,
+				Round:    e.Round,
+				Cause:    e.Cause.String(),
+				AS:       g.OriginalASN(topology.ASN(e.AS)),
+				Kind:     KindName(e.NewKind),
+				Dist:     e.NewDist,
+				PrevKind: KindName(e.PrevKind),
+				PrevDist: e.PrevDist,
+			}
+			switch {
+			case e.NewNext >= 0:
+				h.Next = g.OriginalASN(topology.ASN(e.NewNext))
+			case e.NewNext == -2:
+				h.Origin = true
+			}
+			c.Hops[i] = h
+		}
+		rep.Chains[p] = c
+	}
+	return rep
+}
+
+// Print renders the chains for terminal output (`stamp atlas -replay
+// -why`), one line per hop.
+func (wr *WhyReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "why AS %d -> dest %d (journal: %d appends, %d evicted):\n",
+		wr.AS, wr.Dest, wr.Appends, wr.Evicted)
+	for _, c := range wr.Chains {
+		fmt.Fprintf(w, "  %-4s", c.Plane)
+		if len(c.Hops) == 0 {
+			fmt.Fprintln(w, " (no recorded changes: routeless since journal reset)")
+			continue
+		}
+		fmt.Fprintln(w)
+		for _, h := range c.Hops {
+			target := "routeless"
+			switch {
+			case h.Origin:
+				target = "origin"
+			case h.Kind != "none":
+				target = fmt.Sprintf("via %d", h.Next)
+			}
+			fmt.Fprintf(w, "    seq %-6d ev %-4d round %-3d %-20s AS %-8d %s/%d -> %s/%d (%s)\n",
+				h.Seq, h.Event, h.Round, h.Cause, h.AS,
+				h.PrevKind, h.PrevDist, h.Kind, h.Dist, target)
+		}
+		if c.Truncated {
+			fmt.Fprintln(w, "    ... truncated: older entries evicted from the ring")
+		}
+	}
+}

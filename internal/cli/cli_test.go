@@ -54,6 +54,9 @@ func TestExitCodes(t *testing.T) {
 		{"atlas -loss -replay conflict", []string{"atlas", "-loss", "-replay", "-n", "100"}, ExitUsage},
 		{"atlas replay rejects withdraw", []string{"atlas", "-replay", "-n", "100", "-scenario", "prefix-withdraw"}, ExitFailure},
 		{"atlas replay rejects unbalanced repeat", []string{"atlas", "-replay", "-n", "100", "-scenario", "node-failure", "-repeat", "2", "-dests", "2"}, ExitFailure},
+		{"atlas -why requires -replay", []string{"atlas", "-why", "auto", "-n", "100"}, ExitUsage},
+		{"atlas -why rejects bad spec", []string{"atlas", "-replay", "-why", "5", "-n", "100"}, ExitFailure},
+		{"atlas -why rejects unsampled dest", []string{"atlas", "-replay", "-why", "999999:1", "-n", "100", "-dests", "2"}, ExitFailure},
 		{"topo stats with snapshot flags", []string{"topo", "-in", "/no/such/file", "-tier1", "9"}, ExitUsage},
 		{"flood bad backend", []string{"flood", "-backend", "quantum", "-n", "50"}, ExitFailure},
 		{"topo ok", []string{"topo", "-n", "30"}, ExitOK},
@@ -405,10 +408,10 @@ func TestSteerCLI(t *testing.T) {
 	}
 }
 
-// TestAtlasReplayCLI: `stamp atlas -replay` streams the script through
-// the incremental engine end to end, and its JSON is byte-identical for
-// any -workers value — the CLI-level determinism gate for the replay
-// path.
+// TestAtlasReplayCLI: `stamp atlas -replay -why` streams the script
+// through the incremental engine end to end, and its JSON — including
+// the provenance chain — is byte-identical for any -workers value: the
+// CLI-level determinism gate for the replay and provenance paths.
 func TestAtlasReplayCLI(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation")
@@ -416,7 +419,7 @@ func TestAtlasReplayCLI(t *testing.T) {
 	var snaps []string
 	for _, workers := range []string{"1", "8"} {
 		code, stdout, stderr := run(t, "atlas", "-replay",
-			"-n", "200", "-dests", "6", "-seed", "5", "-repeat", "2", "-workers", workers, "-json")
+			"-n", "200", "-dests", "6", "-seed", "5", "-repeat", "2", "-why", "auto", "-workers", workers, "-json")
 		if code != ExitOK {
 			t.Fatalf("workers=%s: exit %d (stderr: %s)", workers, code, stderr)
 		}
@@ -433,6 +436,12 @@ func TestAtlasReplayCLI(t *testing.T) {
 			PerEvent    []struct {
 				Rounds int64 `json:"rounds"`
 			} `json:"per_event"`
+			Why *struct {
+				Appends uint64 `json:"journal_appends"`
+				Chains  []struct {
+					Plane string `json:"plane"`
+				} `json:"chains"`
+			} `json:"why"`
 		} `json:"data"`
 	}
 	if err := json.Unmarshal([]byte(snaps[0]), &env); err != nil {
@@ -441,5 +450,8 @@ func TestAtlasReplayCLI(t *testing.T) {
 	if env.Experiment != "atlas-replay" || env.Data.Repeat != 2 ||
 		len(env.Data.PerEvent) != env.Data.TotalEvents || env.Data.TotalEvents == 0 {
 		t.Errorf("envelope = %+v, want an atlas-replay per-event stream", env)
+	}
+	if env.Data.Why == nil || env.Data.Why.Appends == 0 || len(env.Data.Why.Chains) != 3 {
+		t.Errorf("why payload = %+v, want three-plane chains with journal appends", env.Data.Why)
 	}
 }

@@ -229,6 +229,7 @@ func (e env) cmdAtlas(args []string) int {
 	replay := fs.Bool("replay", false, "stream the script through the incremental engine, reporting per-event cost (atlas-replay)")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the replay to this file (requires -replay; load at ui.perfetto.dev)")
 	traceN := fs.Int("trace-sample", 0, "record 1-in-N event traces (0 or 1 = every one; with -trace)")
+	why := fs.String("why", "", "report the route-provenance chain for DEST:AS (original ASNs, or 'auto') after the replay (requires -replay)")
 	if code, done := parse(fs, args); done {
 		return code
 	}
@@ -238,6 +239,10 @@ func (e env) cmdAtlas(args []string) int {
 	}
 	if *tracePath != "" && !*replay {
 		fmt.Fprintln(e.stderr, "stamp atlas: -trace requires -replay (only the incremental stream is traced)")
+		return ExitUsage
+	}
+	if *why != "" && !*replay {
+		fmt.Fprintln(e.stderr, "stamp atlas: -why requires -replay (provenance is journaled on the incremental stream)")
 		return ExitUsage
 	}
 	name := "atlas-converge"
@@ -254,6 +259,7 @@ func (e env) cmdAtlas(args []string) int {
 	}
 	req.TracePath = *tracePath
 	req.TraceSample = *traceN
+	req.Why = *why
 	res, err := lab.Run(req)
 	if err != nil {
 		return e.fail(err)

@@ -173,10 +173,18 @@ func runAtlasReplay(req Request) (*Result, error) {
 	if req.TracePath != "" {
 		tracer = trace.New(trace.Options{SampleEvery: req.TraceSample})
 	}
+	var why *atlas.WhySpec
+	if req.Why != "" {
+		spec, err := atlas.ParseWhy(req.Why)
+		if err != nil {
+			return nil, err
+		}
+		why = &spec
+	}
 	rep, err := atlas.Replay(atlas.ReplayOptions{
 		Graph: g, Scenario: kind, Repeat: req.Repeat, Dests: req.Dests, Seed: req.Seed,
 		Workers: req.Workers, Progress: req.Progress, Context: req.ctx(),
-		Tracer: tracer,
+		Tracer: tracer, Why: why,
 	})
 	if err != nil {
 		return nil, err

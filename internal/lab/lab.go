@@ -105,6 +105,12 @@ type Request struct {
 	// Steer tunes the steering policy for steer experiments (zero
 	// values = policy defaults; see steer.DefaultConfig).
 	Steer steer.Config
+	// Why, when non-empty, makes stream experiments (atlas-replay)
+	// record a route-provenance journal and report the causal chain for
+	// one (destination, AS) pair after the replay: "auto" picks the
+	// first destination shard and its first CSR neighbor, "DEST:AS"
+	// names original ASNs explicitly.
+	Why string
 	// TracePath, when non-empty, makes stream experiments
 	// (atlas-replay) record causal convergence spans and write them as
 	// a Chrome trace-event JSON to this file (loadable in Perfetto).

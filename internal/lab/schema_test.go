@@ -44,7 +44,7 @@ func schemaRequests() map[string]Request {
 		"emu-converge_sim":    {Experiment: "emu-converge", Backend: "sim", Topo: TopoSpec{N: 40}},
 		"atlas-converge":      {Experiment: "atlas-converge", Topo: TopoSpec{N: 200}, Dests: 4},
 		"atlas-loss":          {Experiment: "atlas-loss", Topo: TopoSpec{N: 200}, Dests: 4},
-		"atlas-replay":        {Experiment: "atlas-replay", Topo: TopoSpec{N: 200}, Dests: 4, Repeat: 2},
+		"atlas-replay":        {Experiment: "atlas-replay", Topo: TopoSpec{N: 200}, Dests: 4, Repeat: 2, Why: "auto"},
 		"serve-load":          {Experiment: "serve-load", Topo: TopoSpec{N: 300}, Dests: 4, Readers: 4, LoadFor: 500 * time.Millisecond},
 	}
 	return reqs

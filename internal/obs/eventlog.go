@@ -87,6 +87,20 @@ func (l *EventLog) OldestSeq() uint64 {
 	return 1
 }
 
+// Evicted returns how many events the ring has dropped — the gap
+// between what was ever appended and what a from-scratch reader can
+// still see. Exported as a gauge by serve so ring pressure is visible
+// before a resuming client hits it.
+func (l *EventLog) Evicted() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	last := l.next - 1
+	if last > uint64(cap(l.buf)) {
+		return last - uint64(cap(l.buf))
+	}
+	return 0
+}
+
 // Since returns a copy of every retained event with Seq > after, in
 // sequence order.
 func (l *EventLog) Since(after uint64) []Event {

@@ -330,6 +330,91 @@ func TestEventLogRing(t *testing.T) {
 	}
 }
 
+// TestEventLogEvicted pins OldestSeq and Evicted through the empty,
+// partially-filled, and wrapped phases of the ring: before wrap the
+// oldest retained event is seq 1 and nothing is evicted; once the ring
+// wraps, OldestSeq tracks last-cap+1 and Evicted counts the dropped
+// prefix exactly.
+func TestEventLogEvicted(t *testing.T) {
+	l := NewEventLog(4)
+	if got := l.OldestSeq(); got != 0 {
+		t.Fatalf("empty OldestSeq = %d, want 0", got)
+	}
+	if got := l.Evicted(); got != 0 {
+		t.Fatalf("empty Evicted = %d, want 0", got)
+	}
+	for i := 1; i <= 10; i++ {
+		l.Append("k", "d", nil)
+		wantOldest, wantEvicted := uint64(1), uint64(0)
+		if i > 4 {
+			wantOldest = uint64(i - 4 + 1)
+			wantEvicted = uint64(i - 4)
+		}
+		if got := l.OldestSeq(); got != wantOldest {
+			t.Fatalf("after %d appends OldestSeq = %d, want %d", i, got, wantOldest)
+		}
+		if got := l.Evicted(); got != wantEvicted {
+			t.Fatalf("after %d appends Evicted = %d, want %d", i, got, wantEvicted)
+		}
+		// The contract tying the three together: everything ever
+		// appended is either retained or evicted.
+		if l.LastSeq()-l.Evicted() != uint64(len(l.Since(0))) {
+			t.Fatalf("after %d appends: LastSeq %d - Evicted %d != %d retained",
+				i, l.LastSeq(), l.Evicted(), len(l.Since(0)))
+		}
+		// Since at the eviction boundary starts exactly at OldestSeq.
+		if evs := l.Since(0); evs[0].Seq != wantOldest {
+			t.Fatalf("after %d appends Since(0)[0].Seq = %d, want %d", i, evs[0].Seq, wantOldest)
+		}
+	}
+}
+
+// TestEventLogWaitCancel pins that a Wait blocked on a quiet log
+// unblocks with false when its context is cancelled, and that
+// cancellation does not disturb other blocked waiters (they still wake
+// on the next append).
+func TestEventLogWaitCancel(t *testing.T) {
+	l := NewEventLog(8)
+	l.Append("k", "d", nil)
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	ctxB, cancelB := context.WithCancel(context.Background())
+	defer cancelB()
+	resA := make(chan bool, 1)
+	resB := make(chan bool, 1)
+	go func() { resA <- l.Wait(ctxA, l.LastSeq()) }()
+	go func() { resB <- l.Wait(ctxB, l.LastSeq()) }()
+	time.Sleep(10 * time.Millisecond)
+	cancelA()
+	select {
+	case ok := <-resA:
+		if ok {
+			t.Fatal("cancelled Wait returned true, want false")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled Wait did not unblock")
+	}
+	select {
+	case <-resB:
+		t.Fatal("waiter B unblocked by A's cancellation, want it to keep waiting")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.Append("k", "d2", nil)
+	select {
+	case ok := <-resB:
+		if !ok {
+			t.Fatal("waiter B returned false after append, want true")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter B did not wake on append")
+	}
+	// An already-cancelled context with a satisfied predicate still
+	// reports the data: new events win over cancellation.
+	if !l.Wait(ctxA, 0) {
+		t.Fatal("Wait with satisfied predicate returned false on cancelled context")
+	}
+}
+
 func TestEventLogWait(t *testing.T) {
 	l := NewEventLog(8)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

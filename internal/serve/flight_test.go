@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -44,12 +45,14 @@ func TestReadSLOFlightDump(t *testing.T) {
 	base := startServer(t, s)
 
 	// One applied event so the rings hold an event trace, then a read
-	// to trip the SLO.
+	// of a destination shard to trip the SLO (a dest-scoped breach also
+	// embeds that shard's provenance tail).
 	if _, err := s.ApplyEvent(s.script[0]); err != nil {
 		t.Fatal(err)
 	}
-	var idx StateIndex
-	mustGetJSON(t, base+"/state", &idx)
+	destASN := s.g.OriginalASN(s.shards[0].dest)
+	var sum StateSummary
+	mustGetJSON(t, fmt.Sprintf("%s/state/%d", base, destASN), &sum)
 
 	// The trigger runs after the read's response is written; poll.
 	var dump []byte
@@ -86,6 +89,10 @@ func TestReadSLOFlightDump(t *testing.T) {
 	}
 	if _, ok := fd.Metadata["event_log_tail"]; !ok {
 		t.Error("dump metadata missing event_log_tail")
+	}
+	tail, ok := fd.Metadata["prov_tail"].([]any)
+	if !ok || len(tail) == 0 {
+		t.Errorf("dump metadata prov_tail = %v, want the breached shard's recent route changes", fd.Metadata["prov_tail"])
 	}
 	names := map[string]bool{}
 	for _, ev := range fd.TraceEvents {
@@ -189,6 +196,67 @@ func TestFlightRecorderRateLimitAndMonotonic(t *testing.T) {
 	}
 	if got := f.Count(); got != 3 {
 		t.Errorf("clean scrape pair dumped: %d, want 3", got)
+	}
+}
+
+// TestFlightTriggerConcurrentDedup pins the rate limiter against
+// concurrent breaches: any number of triggers landing inside one
+// rate-limit window produce exactly one dump — the mutex-guarded
+// seq/last check is the dedup point, and the losers return without
+// rendering. The injected clock is pinned so the whole race happens
+// at one instant.
+func TestFlightTriggerConcurrentDedup(t *testing.T) {
+	s := testServer(t, 300, 2)
+	f := s.flight
+	now := time.Unix(2000, 0)
+	var clockMu sync.Mutex
+	f.now = func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return now
+	}
+
+	race := func(label string) {
+		var wg sync.WaitGroup
+		for i := 0; i < 16; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				f.trigger("read-slo", fmt.Sprintf("%s breach %d", label, i))
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	race("w1")
+	if got := f.Count(); got != 1 {
+		t.Fatalf("dumps after 16 concurrent triggers = %d, want exactly 1", got)
+	}
+	// Still inside the window: a late straggler is also suppressed.
+	f.trigger("read-slo", "straggler")
+	if got := f.Count(); got != 1 {
+		t.Fatalf("dumps after in-window straggler = %d, want 1", got)
+	}
+
+	clockMu.Lock()
+	now = now.Add(flightMinGap + time.Millisecond)
+	clockMu.Unlock()
+	race("w2")
+	if got := f.Count(); got != 2 {
+		t.Fatalf("dumps after second window = %d, want exactly 2", got)
+	}
+
+	// Each window's winner rendered a complete document despite the 15
+	// losers racing it.
+	var fd flightDump
+	if err := json.Unmarshal(f.Latest(), &fd); err != nil {
+		t.Fatalf("latest dump unparseable: %v", err)
+	}
+	if fd.Metadata["flight_reason"] != "read-slo" {
+		t.Errorf("reason = %v, want read-slo", fd.Metadata["flight_reason"])
+	}
+	if seq, _ := fd.Metadata["flight_seq"].(float64); seq != 2 {
+		t.Errorf("flight_seq = %v, want 2", fd.Metadata["flight_seq"])
 	}
 }
 

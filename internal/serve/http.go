@@ -178,6 +178,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /state", s.read(s.handleStateIndex))
 	mux.HandleFunc("GET /state/{dest}", s.read(s.handleStateRead))
+	mux.HandleFunc("GET /state/{dest}/{as}/why", s.read(s.handleWhy))
 	mux.HandleFunc("POST /admin/event", s.handleAdminEvent)
 	mux.HandleFunc("POST /admin/steer-switch", s.handleSteerSwitch)
 	mux.HandleFunc("GET /debug/flight", s.handleFlight)
@@ -201,15 +202,17 @@ func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) health() any {
 	return map[string]any{
-		"status":         "ok",
-		"epoch":          s.epoch.Load(),
-		"events_applied": s.eventsApplied.Load(),
-		"last_event_seq": s.events.LastSeq(),
-		"flight_dumps":   s.flight.Count(),
-		"dests":          len(s.shards),
-		"ases":           s.g.Len(),
-		"scenario":       s.cfg.Scenario.String(),
-		"uptime_s":       time.Since(s.started).Seconds(),
+		"status":               "ok",
+		"epoch":                s.epoch.Load(),
+		"events_applied":       s.eventsApplied.Load(),
+		"last_event_seq":       s.events.LastSeq(),
+		"flight_dumps":         s.flight.Count(),
+		"dests":                len(s.shards),
+		"ases":                 s.g.Len(),
+		"scenario":             s.cfg.Scenario.String(),
+		"provenance_entries":   s.provEntries.Load(),
+		"provenance_evictions": s.provEvictions.Load(),
+		"uptime_seconds":       time.Since(s.started).Seconds(),
 	}
 }
 
@@ -233,8 +236,15 @@ func (s *Server) read(h func(w http.ResponseWriter, r *http.Request) error) http
 			sp.End()
 		}
 		if s.cfg.ReadSLO > 0 && elapsed > s.cfg.ReadSLO {
-			s.flight.trigger("read-slo",
-				fmt.Sprintf("%s took %s (SLO %s)", r.URL.Path, elapsed, s.cfg.ReadSLO))
+			// A breach on a /state/{dest} read embeds that shard's recent
+			// provenance entries: the route changes that were settling (or
+			// just settled) around the slow read.
+			var extra map[string]any
+			if tail := s.provTail(r.PathValue("dest")); tail != nil {
+				extra = map[string]any{"prov_tail": tail}
+			}
+			s.flight.triggerMeta("read-slo",
+				fmt.Sprintf("%s took %s (SLO %s)", r.URL.Path, elapsed, s.cfg.ReadSLO), extra)
 		}
 		if err != nil {
 			s.metrics.readErrors.Inc()
@@ -351,6 +361,84 @@ func (s *Server) handleStateRead(w http.ResponseWriter, r *http.Request) error {
 	sh.release(snap)
 	writeJSON(w, http.StatusOK, read)
 	return nil
+}
+
+// WhyResponse is the GET /state/{dest}/{as}/why payload: the causal
+// provenance chains for one (destination, AS) pair at the current
+// epoch — every journal entry on the path from the asking AS to the
+// origin (or to the eviction horizon), per plane.
+type WhyResponse struct {
+	Epoch uint64 `json:"epoch"`
+	*atlas.WhyReport
+}
+
+func (s *Server) handleWhy(w http.ResponseWriter, r *http.Request) error {
+	destASN, err := strconv.ParseInt(r.PathValue("dest"), 10, 64)
+	if err != nil {
+		return errf(http.StatusBadRequest, "bad destination %q", r.PathValue("dest"))
+	}
+	i, ok := s.destIdx[destASN]
+	if !ok {
+		return errf(http.StatusNotFound, "destination AS %d is not served (see /state)", destASN)
+	}
+	asn, err := strconv.ParseInt(r.PathValue("as"), 10, 64)
+	if err != nil {
+		return errf(http.StatusBadRequest, "bad as %q", r.PathValue("as"))
+	}
+	dense, ok := s.byASN[asn]
+	if !ok {
+		return errf(http.StatusNotFound, "unknown AS %d", asn)
+	}
+	sh := s.shards[i]
+	// The chain walk reads the whole ring, so it takes the shard's
+	// journal lock rather than the snapshot pin; the epoch is read
+	// after the walk so the pair is consistent under the single writer.
+	sh.provMu.Lock()
+	rep := atlas.BuildWhy(s.g, sh.j, sh.dest, topology.ASN(dense))
+	sh.provMu.Unlock()
+	s.metrics.whyTotal.Inc()
+	for _, c := range rep.Chains {
+		if c.Truncated {
+			s.metrics.whyTruncated.Inc()
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, WhyResponse{Epoch: s.epoch.Load(), WhyReport: rep})
+	return nil
+}
+
+// provTail renders the newest provenance entries of one destination
+// shard for flight-recorder metadata. Returns nil when destStr does
+// not name a served destination (e.g. the breach was on /state itself).
+func (s *Server) provTail(destStr string) []string {
+	asn, err := strconv.ParseInt(destStr, 10, 64)
+	if err != nil {
+		return nil
+	}
+	i, ok := s.destIdx[asn]
+	if !ok {
+		return nil
+	}
+	sh := s.shards[i]
+	sh.provMu.Lock()
+	tail := sh.j.Tail(flightTailSize)
+	sh.provMu.Unlock()
+	out := make([]string, len(tail))
+	for k, e := range tail {
+		next := "none"
+		switch {
+		case e.NewNext >= 0:
+			next = fmt.Sprintf("via %d", s.g.OriginalASN(topology.ASN(e.NewNext)))
+		case e.NewNext == -2:
+			next = "origin"
+		}
+		out[k] = fmt.Sprintf("seq %d ev %d %s round %d %s AS %d %s/%d -> %s/%d %s",
+			e.Seq, e.Event, atlas.PlaneName(int(e.Plane)), e.Round, e.Cause,
+			s.g.OriginalASN(topology.ASN(e.AS)),
+			atlas.KindName(e.PrevKind), e.PrevDist,
+			atlas.KindName(e.NewKind), e.NewDist, next)
+	}
+	return out
 }
 
 // AdminEvent is the POST /admin/event request body. ASNs are original

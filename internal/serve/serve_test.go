@@ -321,6 +321,20 @@ func TestConcurrentReadersAndWriter(t *testing.T) {
 			}
 		}(r)
 	}
+	// Provenance chain reads race the writer's journal appends through
+	// the shard locks.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ctx.Err() == nil {
+			var why WhyResponse
+			url := fmt.Sprintf("%s/state/%d/%d/why", base, idx.Dests[0], idx.Dests[1%len(idx.Dests)])
+			if err := getJSON(ctx, http.DefaultClient, url, &why); err != nil && ctx.Err() == nil {
+				t.Errorf("why reader: %v", err)
+				return
+			}
+		}
+	}()
 	// Direct snapshot pinning alongside the HTTP path: verify epochs
 	// are internally consistent (a pinned buffer never mutates).
 	wg.Add(1)

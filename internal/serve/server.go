@@ -28,6 +28,7 @@ import (
 
 	"stamp/internal/atlas"
 	"stamp/internal/obs"
+	"stamp/internal/prov"
 	"stamp/internal/runner"
 	"stamp/internal/scenario"
 	"stamp/internal/topology"
@@ -69,6 +70,11 @@ type Config struct {
 	Registry *obs.Registry
 	// EventLogSize bounds the SSE ring buffer (default 1024).
 	EventLogSize int
+	// ProvCap bounds each destination shard's route-provenance journal
+	// (entries per shard; default 4096). Older entries are evicted,
+	// which truncates /state/{dest}/{as}/why chains but never loses the
+	// latest route change per AS within the ring.
+	ProvCap int
 	// TraceDir, when non-empty, is where flight-recorder dumps are
 	// written as flight-<n>.json Chrome trace files (the latest is always
 	// also retrievable at GET /debug/flight).
@@ -111,13 +117,19 @@ type destSnap struct {
 }
 
 // shard is one destination's live state plus its two-buffer epoch
-// publication slot.
+// publication slot and its route-provenance journal. provMu orders
+// `why` reads against the single writer's engine mutations: the
+// journal is written from inside the convergence hot loop, so unlike
+// the published snapshots it cannot be read lock-free mid-event.
 type shard struct {
 	dest topology.ASN
 	st   *atlas.State
 
 	pub   atomic.Pointer[destSnap]
 	spare *destSnap // writer-owned candidate for the next publish
+
+	provMu sync.Mutex
+	j      *prov.Journal
 }
 
 // EventRecord is the serve-level outcome of one applied event,
@@ -167,6 +179,12 @@ type Server struct {
 	eventsApplied atomic.Uint64
 	started       time.Time
 
+	// Journal totals summed over shards after each applied event, so
+	// /healthz reads them without touching the shard locks.
+	provAppends   atomic.Uint64
+	provEvictions atomic.Uint64
+	provEntries   atomic.Int64
+
 	tracer  *trace.Tracer
 	flight  *flightRecorder
 	steer   *steerFlap
@@ -186,6 +204,13 @@ type serverMetrics struct {
 	readErrors   *obs.Counter
 	inFlight     *obs.Gauge
 	sseClients   *obs.Gauge
+
+	whyTotal       *obs.Counter
+	whyTruncated   *obs.Counter
+	provEntries    *obs.Gauge
+	provAppends    *obs.Counter
+	provEvictions  *obs.Counter
+	eventEvictions *obs.Gauge
 }
 
 func newServerMetrics(reg *obs.Registry) serverMetrics {
@@ -208,6 +233,18 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 			"HTTP requests currently being served."),
 		sseClients: reg.Gauge("stamp_serve_sse_clients",
 			"Connected /events stream clients."),
+		whyTotal: reg.Counter("stamp_serve_why_total",
+			"Provenance chain queries served (GET /state/{dest}/{as}/why)."),
+		whyTruncated: reg.Counter("stamp_serve_why_truncated_total",
+			"Why queries whose chain was cut short by journal eviction."),
+		provEntries: reg.Gauge("stamp_prov_entries",
+			"Route-provenance journal entries currently retained, summed over shards."),
+		provAppends: reg.Counter("stamp_prov_appends_total",
+			"Route changes appended to the provenance journals."),
+		provEvictions: reg.Counter("stamp_prov_evictions_total",
+			"Provenance entries evicted by ring wrap."),
+		eventEvictions: reg.Gauge("stamp_serve_event_log_evictions",
+			"Events dropped from the SSE ring buffer."),
 	}
 }
 
@@ -230,6 +267,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.EventLogSize <= 0 {
 		cfg.EventLogSize = 1024
+	}
+	if cfg.ProvCap <= 0 {
+		cfg.ProvCap = 4096
 	}
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
@@ -290,7 +330,9 @@ func New(cfg Config) (*Server, error) {
 	s.eng.Instrument(atlas.NewMetrics(cfg.Registry))
 
 	for i, dest := range dests {
-		s.shards[i] = &shard{dest: dest, st: s.eng.NewState()}
+		sh := &shard{dest: dest, st: s.eng.NewState(), j: prov.NewJournal(cfg.ProvCap)}
+		sh.st.SetJournal(sh.j)
+		s.shards[i] = sh
 		s.destIdx[g.OriginalASN(dest)] = i
 	}
 	_, err = runner.Run(runner.Spec[struct{}]{
@@ -309,6 +351,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.updateProvMetrics()
 	s.events.Append("boot",
 		fmt.Sprintf("converged %d dests over %d ASes (%d links), scenario %s",
 			len(s.shards), g.Len(), g.EdgeCount(), cfg.Scenario), nil)
@@ -437,7 +480,11 @@ func (s *Server) ApplyEvent(ev scenario.Event) (EventRecord, error) {
 				sh.st.SetTrace(tc.WithTID(int32(1+t.Index)), root.ID())
 				defer sh.st.ClearTrace()
 			}
+			// The engine appends journal entries throughout convergence, so
+			// a `why` read must not observe the journal mid-event.
+			sh.provMu.Lock()
 			cost, err := s.eng.ApplyEvent(sh.st, ev)
+			sh.provMu.Unlock()
 			if err != nil {
 				return atlas.EventCost{}, fmt.Errorf("dest %d: %w", sh.dest, err)
 			}
@@ -482,6 +529,7 @@ func (s *Server) ApplyEvent(ev scenario.Event) (EventRecord, error) {
 	s.epoch.Store(epoch)
 	s.metrics.epochGauge.Set(int64(epoch))
 	s.metrics.applySeconds.Observe(elapsed.Seconds())
+	s.updateProvMetrics()
 	if root.Live() {
 		root.Arg("rounds", rec.Rounds)
 		root.Arg("changed", rec.Changed)
@@ -496,6 +544,29 @@ func (s *Server) ApplyEvent(ev scenario.Event) (EventRecord, error) {
 			fmt.Sprintf("event %s rerooted %d/%d dests at epoch %d", rec.Op, rec.Reroots, len(s.shards), epoch))
 	}
 	return rec, nil
+}
+
+// updateProvMetrics folds the per-shard journal counters into the
+// exported gauges/counters and the healthz-readable atomics. Called
+// under applyMu (and once at boot before readers exist), so the shard
+// journals are quiescent.
+func (s *Server) updateProvMetrics() {
+	var appends, evicted uint64
+	var entries int64
+	for _, sh := range s.shards {
+		appends += sh.j.Appends()
+		evicted += sh.j.Evicted()
+		entries += int64(sh.j.Len())
+	}
+	if d := appends - s.provAppends.Swap(appends); d > 0 {
+		s.metrics.provAppends.Add(int64(d))
+	}
+	if d := evicted - s.provEvictions.Swap(evicted); d > 0 {
+		s.metrics.provEvictions.Add(int64(d))
+	}
+	s.provEntries.Store(entries)
+	s.metrics.provEntries.Set(entries)
+	s.metrics.eventEvictions.Set(int64(s.events.Evicted()))
 }
 
 // applyByASN validates an admin request's original ASNs, translates

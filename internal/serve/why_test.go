@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"stamp/internal/atlas"
+	"stamp/internal/topology"
+)
+
+// TestWhyEndpoint: GET /state/{dest}/{as}/why returns the three-plane
+// provenance chains, the chains terminate at the origin, and the
+// journal keeps absorbing route changes as events apply.
+func TestWhyEndpoint(t *testing.T) {
+	s := testServer(t, 300, 2)
+	base := startServer(t, s)
+
+	var idx StateIndex
+	mustGetJSON(t, base+"/state", &idx)
+	dest := idx.Dests[0]
+
+	// The destination's own chain is the shortest possible: one origin
+	// hop per participating plane, journaled by the boot convergence.
+	var own WhyResponse
+	mustGetJSON(t, fmt.Sprintf("%s/state/%d/%d/why", base, dest, dest), &own)
+	if own.Dest != dest || own.AS != dest || len(own.Chains) != atlas.PlaneCount {
+		t.Fatalf("own = %+v, want three-plane chains for dest %d", own, dest)
+	}
+	if own.Appends == 0 {
+		t.Error("journal recorded nothing during boot convergence")
+	}
+	for _, c := range own.Chains {
+		if len(c.Hops) == 0 {
+			continue // the origin may sit outside a chain's plane
+		}
+		h := c.Hops[len(c.Hops)-1]
+		if !h.Origin || h.AS != dest || h.Dist != 0 {
+			t.Errorf("plane %s tail hop = %+v, want the origin at dist 0", c.Plane, h)
+		}
+	}
+
+	// A neighbor's chain walks hop by hop to the origin: each hop's
+	// next is the following hop's AS.
+	dense, ok := s.byASN[dest]
+	if !ok {
+		t.Fatal("dest not in byASN")
+	}
+	nbrs := s.g.Neighbors(nil, topology.ASN(dense))
+	if len(nbrs) == 0 {
+		t.Fatal("destination has no neighbors")
+	}
+	nbr := s.g.OriginalASN(nbrs[0])
+	var why WhyResponse
+	mustGetJSON(t, fmt.Sprintf("%s/state/%d/%d/why", base, dest, nbr), &why)
+	for _, c := range why.Chains {
+		for i := 0; i+1 < len(c.Hops); i++ {
+			if c.Hops[i].Next != c.Hops[i+1].AS {
+				t.Errorf("plane %s hop %d: next %d != following AS %d",
+					c.Plane, i, c.Hops[i].Next, c.Hops[i+1].AS)
+			}
+		}
+		if n := len(c.Hops); n > 0 && !c.Truncated {
+			if h := c.Hops[n-1]; !h.Origin {
+				t.Errorf("plane %s untruncated chain does not end at the origin: %+v", c.Plane, h)
+			}
+		}
+	}
+
+	// Replaying the script appends more provenance; the epoch in the
+	// response tracks the published epoch.
+	for _, ev := range s.script {
+		if _, err := s.ApplyEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var after WhyResponse
+	mustGetJSON(t, fmt.Sprintf("%s/state/%d/%d/why", base, dest, nbr), &after)
+	if after.Epoch != uint64(len(s.script)) {
+		t.Errorf("epoch = %d, want %d", after.Epoch, len(s.script))
+	}
+	if after.Appends <= why.Appends {
+		t.Errorf("appends %d -> %d, want growth after %d events",
+			why.Appends, after.Appends, len(s.script))
+	}
+	if got := s.metrics.whyTotal.Value(); got != 3 {
+		t.Errorf("why queries counted = %d, want 3", got)
+	}
+
+	// Errors: unknown destination and unknown AS 404, junk 400s.
+	for _, path := range []string{
+		"/state/999999999/1/why",
+		fmt.Sprintf("/state/%d/999999999/why", dest),
+		"/state/xyz/1/why",
+		fmt.Sprintf("/state/%d/xyz/why", dest),
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound && resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s = %d, want 4xx", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestHealthzProvenance: /healthz reports the journal totals and
+// uptime alongside the existing fields, and the provenance metric
+// families are exported.
+func TestHealthzProvenance(t *testing.T) {
+	s := testServer(t, 300, 2)
+	base := startServer(t, s)
+
+	var health struct {
+		Status            string  `json:"status"`
+		ProvenanceEntries int64   `json:"provenance_entries"`
+		ProvenanceEvicted uint64  `json:"provenance_evictions"`
+		UptimeSeconds     float64 `json:"uptime_seconds"`
+		EventsApplied     uint64  `json:"events_applied"`
+	}
+	mustGetJSON(t, base+"/healthz", &health)
+	if health.Status != "ok" {
+		t.Fatalf("health = %+v", health)
+	}
+	if health.ProvenanceEntries == 0 {
+		t.Error("provenance_entries = 0, want boot-convergence entries")
+	}
+	if health.UptimeSeconds < 0 {
+		t.Errorf("uptime_seconds = %v", health.UptimeSeconds)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, family := range []string{
+		"stamp_serve_why_total",
+		"stamp_serve_why_truncated_total",
+		"stamp_prov_entries",
+		"stamp_prov_appends_total",
+		"stamp_prov_evictions_total",
+		"stamp_serve_event_log_evictions",
+	} {
+		if !strings.Contains(body, family) {
+			t.Errorf("metrics output missing %s", family)
+		}
+	}
+	if s.metrics.provEntries.Value() != health.ProvenanceEntries {
+		t.Errorf("gauge %d != healthz %d", s.metrics.provEntries.Value(), health.ProvenanceEntries)
+	}
+}

@@ -104,7 +104,7 @@ func Summarize(doc *Doc) {
 		}
 		doc.Summary[name] = v
 	}
-	var incNs, scratchNs, tracedNs float64
+	var incNs, scratchNs, tracedNs, provNs float64
 	for _, b := range doc.Benchmarks {
 		// Strip the -<GOMAXPROCS> suffix go test appends.
 		name := b.Name
@@ -129,6 +129,12 @@ func Summarize(doc *Doc) {
 			if b.AllocsPerOp != nil {
 				set("atlas_traced64_allocs_per_event", *b.AllocsPerOp)
 			}
+		case "BenchmarkAtlasIncremental/prov":
+			provNs = b.NsPerOp
+			set("atlas_prov_ns_per_event", b.NsPerOp)
+			if b.AllocsPerOp != nil {
+				set("atlas_prov_allocs_per_event", *b.AllocsPerOp)
+			}
 		case "BenchmarkAtlasIncremental/scratch":
 			scratchNs = b.NsPerOp
 			set("atlas_scratch_ns_per_event", b.NsPerOp)
@@ -139,6 +145,10 @@ func Summarize(doc *Doc) {
 			if b.AllocsPerOp != nil {
 				set("steer_decision_allocs_per_op", *b.AllocsPerOp)
 			}
+		case "BenchmarkProvWhy":
+			if v, ok := b.Metrics["queries/s"]; ok {
+				set("why_queries_per_s", v)
+			}
 		}
 	}
 	if incNs > 0 && scratchNs > 0 {
@@ -148,6 +158,11 @@ func Summarize(doc *Doc) {
 		// The tracing tax at deployment sampling (1-in-64): CI gates
 		// this ratio below 1.05.
 		set("trace_replay_overhead_ratio", tracedNs/incNs)
+	}
+	if incNs > 0 && provNs > 0 {
+		// The provenance-journal tax with a journal attached to every
+		// shard: CI gates this ratio below 1.05 as well.
+		set("prov_overhead_ratio", provNs/incNs)
 	}
 }
 

@@ -48,6 +48,7 @@ const incrementalSample = `goos: linux
 pkg: stamp
 BenchmarkAtlasIncremental/incremental-8         	    5000	    215000 ns/op	      4651 events/s	       0 allocs/op
 BenchmarkAtlasIncremental/traced64-8            	    5000	    219300 ns/op	      4560 events/s	       0 allocs/op
+BenchmarkAtlasIncremental/prov-8                	    5000	    221450 ns/op	      4516 events/s	       0 allocs/op
 BenchmarkAtlasIncremental/scratch-8             	      20	  52000000 ns/op
 PASS
 `
@@ -64,6 +65,8 @@ func TestSummarizeStableNames(t *testing.T) {
 		"atlas_incremental_allocs_per_event": 0,
 		"atlas_traced64_ns_per_event":        219300,
 		"atlas_traced64_allocs_per_event":    0,
+		"atlas_prov_ns_per_event":            221450,
+		"atlas_prov_allocs_per_event":        0,
 		"atlas_scratch_ns_per_event":         52000000,
 	} {
 		if got := doc.Summary[name]; got != want {
@@ -75,6 +78,31 @@ func TestSummarizeStableNames(t *testing.T) {
 	}
 	if got := doc.Summary["trace_replay_overhead_ratio"]; got < 1.01 || got > 1.03 {
 		t.Errorf("trace overhead ratio = %v, want ~1.02", got)
+	}
+	if got := doc.Summary["prov_overhead_ratio"]; got < 1.02 || got > 1.04 {
+		t.Errorf("prov overhead ratio = %v, want ~1.03", got)
+	}
+}
+
+const provWhySample = `goos: linux
+pkg: stamp/internal/prov
+BenchmarkProvWhy-8   	  300000	      3800 ns/op	    263000 queries/s	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestSummarizeProvWhy(t *testing.T) {
+	doc, err := Parse(bufio.NewScanner(strings.NewReader(provWhySample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Summarize(doc)
+	if got := doc.Summary["why_queries_per_s"]; got != 263000 {
+		t.Errorf("why_queries_per_s = %v, want 263000", got)
+	}
+	// Without the incremental baseline no ratio appears: the gate step
+	// must notice a missing arm rather than divide by zero.
+	if _, ok := doc.Summary["prov_overhead_ratio"]; ok {
+		t.Error("prov_overhead_ratio set without an incremental baseline")
 	}
 }
 
